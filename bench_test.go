@@ -1,0 +1,198 @@
+// Benchmarks: one per table and figure of the paper's evaluation (run
+// the figure's full workload at a small scale), plus ablation benches
+// for the design choices called out in DESIGN.md and micro-benchmarks of
+// the hot paths. Regenerating the paper's actual numbers is
+// cmd/experiments' job; these benches track the cost of each experiment
+// and the effect of each design knob.
+package lshcluster
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"lshcluster/internal/core"
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+	"lshcluster/internal/experiments"
+	"lshcluster/internal/kmeans"
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/lsh"
+	"lshcluster/internal/simhash"
+)
+
+// benchScale keeps figure benches fast while preserving the comparative
+// shape; cmd/experiments defaults to 10× this.
+const benchScale = 0.005
+
+func benchFigure(b *testing.B, fig int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite(experiments.Config{
+			Scale: benchScale, Seed: 1, Out: io.Discard, Quiet: true, MaxIterations: 10,
+		})
+		if err := suite.Figure(fig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := TableI(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := TableII(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B)  { benchFigure(b, 2) }
+func BenchmarkFigure3(b *testing.B)  { benchFigure(b, 3) }
+func BenchmarkFigure4(b *testing.B)  { benchFigure(b, 4) }
+func BenchmarkFigure5(b *testing.B)  { benchFigure(b, 5) }
+func BenchmarkFigure6(b *testing.B)  { benchFigure(b, 6) }
+func BenchmarkFigure7(b *testing.B)  { benchFigure(b, 7) }
+func BenchmarkFigure8(b *testing.B)  { benchFigure(b, 8) }
+func BenchmarkFigure9(b *testing.B)  { benchFigure(b, 9) }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, 10) }
+
+// ---- shared ablation workload ----
+
+var (
+	ablOnce sync.Once
+	ablDS   *dataset.Dataset
+)
+
+// ablWorkload is a mid-size separable workload in the paper's regime —
+// the cluster count dominates the signature length (k=800 ≫ b·r=100),
+// which is the premise of the whole technique — while staying small
+// enough for sub-second runs.
+func ablWorkload(b *testing.B) *dataset.Dataset {
+	ablOnce.Do(func() {
+		ds, err := datagen.Generate(datagen.Config{
+			Items: 2400, Clusters: 800, Attrs: 50, Domain: 40000, Seed: 33,
+		})
+		if err != nil {
+			panic(err)
+		}
+		ablDS = ds
+	})
+	return ablDS
+}
+
+func runAbl(b *testing.B, opts core.Options, withAccel bool) {
+	ds := ablWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Random seed items, as in the paper's initialisation: several
+		// seeds land in the same ground-truth cluster, so the run takes
+		// multiple iterations to settle.
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: 800, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opts
+		if withAccel {
+			accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.Accelerator = accel
+		}
+		o.MaxIterations = 8
+		o.SkipCost = true
+		if _, err := core.Run(space, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Headline comparison: the exact baseline vs the accelerated algorithm
+// on the same workload (the per-run equivalent of Figure 7).
+func BenchmarkRunExactKModes(b *testing.B) { runAbl(b, core.Options{}, false) }
+func BenchmarkRunMHKModes(b *testing.B)    { runAbl(b, core.Options{}, true) }
+
+// Ablation: bootstrap strategy (paper full-scan first pass vs seeded
+// incremental index).
+func BenchmarkAblationBootstrapFullScan(b *testing.B) {
+	runAbl(b, core.Options{Bootstrap: core.BootstrapFullScan}, true)
+}
+
+func BenchmarkAblationBootstrapSeeded(b *testing.B) {
+	runAbl(b, core.Options{Bootstrap: core.BootstrapSeeded}, true)
+}
+
+// Ablation: immediate (paper) vs deferred cluster-reference updates.
+func BenchmarkAblationUpdateImmediate(b *testing.B) {
+	runAbl(b, core.Options{Update: core.UpdateImmediate}, true)
+}
+
+func BenchmarkAblationUpdateDeferred(b *testing.B) {
+	runAbl(b, core.Options{Update: core.UpdateDeferred}, true)
+}
+
+// Ablation: early-abandon distance evaluation on the exact baseline,
+// where it matters most (k full-distance evaluations per item).
+func BenchmarkAblationEarlyAbandonOff(b *testing.B) {
+	runAbl(b, core.Options{}, false)
+}
+
+func BenchmarkAblationEarlyAbandonOn(b *testing.B) {
+	runAbl(b, core.Options{EarlyAbandon: true}, false)
+}
+
+// Ablation: tie-breaking policy.
+func BenchmarkAblationTieBreakPreferCurrent(b *testing.B) {
+	runAbl(b, core.Options{TieBreak: core.TieBreakPreferCurrent}, true)
+}
+
+func BenchmarkAblationTieBreakLowestIndex(b *testing.B) {
+	runAbl(b, core.Options{TieBreak: core.TieBreakLowestIndex}, true)
+}
+
+// ---- numeric extension ----
+
+func benchNumeric(b *testing.B, params *Params) {
+	pts, _, err := kmeans.GenerateBlobs(kmeans.BlobsConfig{
+		Points: 4000, Clusters: 200, Dim: 16, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int32, 200)
+	for c := range seeds {
+		seeds[c] = int32(c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := kmeans.NewSpaceFromSeeds(pts, 16, seeds, kmeans.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{MaxIterations: 8, SkipCost: true}
+		if params != nil {
+			accel, err := simhash.NewAccelerator(space, *params, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts.Accelerator = accel
+		}
+		if _, err := core.Run(space, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunExactKMeans(b *testing.B) { benchNumeric(b, nil) }
+func BenchmarkRunSimHashKMeans(b *testing.B) {
+	benchNumeric(b, &Params{Bands: 12, Rows: 12})
+}

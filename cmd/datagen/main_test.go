@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lshcluster/internal/dataset"
+)
+
+func TestRunStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-items", "60", "-clusters", "6", "-attrs", "10", "-domain", "100"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.ReadCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems() != 60 || ds.NumAttrs() != 10 || !ds.Labeled() {
+		t.Fatalf("generated %v", ds)
+	}
+	if !strings.Contains(errw.String(), "wrote") {
+		t.Fatalf("missing status line: %q", errw.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out, errw bytes.Buffer
+	err := run([]string{"-items", "20", "-clusters", "2", "-attrs", "4", "-domain", "10", "-o", path}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("stdout should be empty when -o is given")
+	}
+	f, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(f, "a0,") {
+		t.Fatalf("file content: %q", firstLine(f))
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-items", "0"}, &out, &errw); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+	if err := run([]string{"-bogus"}, &out, &errw); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

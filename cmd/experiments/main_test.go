@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablesOnly(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-table", "1,2", "-quiet"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table I") || !strings.Contains(s, "Table II") {
+		t.Fatalf("output: %q", s)
+	}
+}
+
+func TestSingleFigureTinyScale(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-fig", "5", "-scale", "0.005", "-quiet", "-seed", "3"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 5", "5a:", "5b:", "K-Modes"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(nil, &out, &errw); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run([]string{"-fig", "99", "-quiet"}, &out, &errw); err == nil {
+		t.Fatal("expected unknown-figure error")
+	}
+	if err := run([]string{"-fig", "abc"}, &out, &errw); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestIntListFlag(t *testing.T) {
+	var l intList
+	if err := l.Set("2, 3,4"); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "2,3,4" {
+		t.Fatalf("intList = %q", l.String())
+	}
+}

@@ -1,0 +1,101 @@
+// Command lshtune explores LSH banding parameters the way the paper's
+// §III-D does: it prints Tables I and II, evaluates custom (bands, rows)
+// points, and searches for the cheapest configuration reaching a target
+// cluster-hit probability.
+//
+// Examples:
+//
+//	lshtune -table 1
+//	lshtune -bands 20 -rows 5 -sim 0.3 -cluster-items 10
+//	lshtune -search -sim 0.25 -cluster-items 5 -target 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"lshcluster/internal/lsh"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lshtune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lshtune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "print the paper's probability table (1 or 2)")
+	bands := fs.Int("bands", 0, "bands of a custom configuration")
+	rows := fs.Int("rows", 1, "rows per band of a custom configuration")
+	sim := fs.Float64("sim", 0.1, "Jaccard similarity of interest")
+	clusterItems := fs.Int("cluster-items", 10, "similar items assumed per cluster")
+	attrs := fs.Int("attrs", 0, "attributes per item (enables the §III-C error bound)")
+	search := fs.Bool("search", false, "search the cheapest configuration reaching -target")
+	target := fs.Float64("target", 0.95, "target cluster-hit probability for -search")
+	maxBands := fs.Int("max-bands", 1024, "search limit for bands")
+	maxRows := fs.Int("max-rows", 10, "search limit for rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *table {
+	case 0:
+	case 1:
+		printTable(stdout, "Table I (1 row per band, 10 items per cluster)", lsh.TableI())
+		return nil
+	case 2:
+		printTable(stdout, "Table II (5 rows per band, 10 items per cluster)", lsh.TableII())
+		return nil
+	default:
+		return fmt.Errorf("no table %d in the paper", *table)
+	}
+
+	if *search {
+		p, ok := lsh.SearchParams(*sim, *clusterItems, *target, *maxBands, *maxRows)
+		if !ok {
+			return fmt.Errorf("no configuration within %d bands × %d rows reaches %.2f",
+				*maxBands, *maxRows, *target)
+		}
+		fmt.Fprintf(stdout, "cheapest configuration: %v (%d hash functions)\n", p, p.SignatureLen())
+		describe(stdout, p, *sim, *clusterItems, *attrs)
+		return nil
+	}
+
+	if *bands > 0 {
+		p := lsh.Params{Bands: *bands, Rows: *rows}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		describe(stdout, p, *sim, *clusterItems, *attrs)
+		return nil
+	}
+	return fmt.Errorf("nothing to do: pass -table, -bands or -search (see -h)")
+}
+
+func describe(w io.Writer, p lsh.Params, sim float64, clusterItems, attrs int) {
+	fmt.Fprintf(w, "configuration %v: signature length %d\n", p, p.SignatureLen())
+	fmt.Fprintf(w, "  candidate-pair probability at J=%.4g: %.4f\n", sim, p.CandidateProb(sim))
+	fmt.Fprintf(w, "  cluster-hit probability (%d similar items): %.4f\n",
+		clusterItems, p.ClusterHitProb(sim, clusterItems))
+	fmt.Fprintf(w, "  steepest-rise similarity (1/b)^(1/r): %.4f\n", p.ThresholdSimilarity())
+	if attrs > 0 {
+		fmt.Fprintf(w, "  §III-C error bound (m=%d, %d items/cluster): %.4f\n",
+			attrs, clusterItems, p.ErrorBound(attrs, clusterItems))
+	}
+}
+
+func printTable(w io.Writer, title string, rows []lsh.TableRow) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bands\tJaccard-similarity\tProbability\tMH-K-Modes Probability")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%g\t%.4f\t%.4f\n", r.Bands, r.Jaccard, r.PairProb, r.ClusterProb)
+	}
+	tw.Flush()
+}

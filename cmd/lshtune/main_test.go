@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTables(t *testing.T) {
+	for _, tbl := range []string{"1", "2"} {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-table", tbl}, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "Bands") {
+			t.Fatalf("table %s output: %q", tbl, out.String())
+		}
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-table", "9"}, &out, &errw); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-bands", "25", "-rows", "1", "-sim", "0.005", "-cluster-items", "20", "-attrs", "100"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"25b1r", "error bound", "0.08"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("describe output missing %q: %q", want, s)
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-search", "-sim", "0.25", "-cluster-items", "5", "-target", "0.95"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cheapest configuration") {
+		t.Fatalf("search output: %q", out.String())
+	}
+	// Impossible target.
+	if err := run([]string{"-search", "-sim", "0.0000001", "-target", "0.999", "-max-bands", "2", "-max-rows", "1"}, &out, &errw); err == nil {
+		t.Fatal("expected search failure")
+	}
+}
+
+func TestNothingToDo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(nil, &out, &errw); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run([]string{"-bands", "0", "-rows", "0"}, &out, &errw); err == nil {
+		t.Fatal("expected usage error")
+	}
+}

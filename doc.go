@@ -1,0 +1,42 @@
+// Package lshcluster accelerates large-scale centroid-based clustering
+// with locality sensitive hashing.
+//
+// It is a from-scratch Go reproduction of McConville, Cao, Liu & Miller,
+// "Accelerating Large Scale Centroid-based Clustering with Locality
+// Sensitive Hashing" (ICDE 2016): a framework that indexes every item
+// once with an LSH scheme and, on each assignment step, compares the item
+// only against the clusters of its colliding neighbours — a shortlist
+// that is typically orders of magnitude smaller than the full cluster
+// set, with a provable bound on the probability of missing the best
+// cluster.
+//
+// Two instantiations ship with the library:
+//
+//   - MH-K-Modes (the paper's evaluation): categorical data, K-Modes
+//     dissimilarity, MinHash banding for Jaccard similarity. Run it with
+//     Cluster and a non-nil LSH configuration.
+//
+//   - SimHash K-Means (the paper's stated further work): dense numeric
+//     vectors, squared Euclidean K-Means, random-hyperplane banding.
+//     Run it with ClusterNumeric.
+//
+// Quick start:
+//
+//	ds, _ := lshcluster.ReadCSV(f)
+//	res, err := lshcluster.Cluster(ds, lshcluster.Config{
+//		K:   2000,
+//		LSH: &lshcluster.Params{Bands: 20, Rows: 5},
+//	})
+//	// res.Assign[i] is item i's cluster; res.Stats has per-iteration
+//	// timings, move counts and shortlist sizes.
+//
+// Passing a nil LSH runs the exact baseline algorithm, which considers
+// every cluster for every item — useful for verifying that acceleration
+// preserves quality (the Stats of both runs are directly comparable).
+//
+// The cmd/ directory provides datagen (paper-style synthetic workloads),
+// lshcluster (clustering CLI), lshtune (banding-parameter exploration,
+// Tables I–II) and experiments (regenerates every table and figure of
+// the paper's evaluation). See DESIGN.md for the architecture and
+// EXPERIMENTS.md for reproduction results.
+package lshcluster

@@ -1,0 +1,63 @@
+// Numeric: the paper's further-work extension — the same acceleration
+// framework applied to numeric data. Clusters Gaussian blobs with exact
+// K-Means and with SimHash-accelerated K-Means (random-hyperplane LSH in
+// place of MinHash) and compares quality and per-iteration work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"lshcluster"
+)
+
+func main() {
+	points := flag.Int("points", 20000, "number of points")
+	clusters := flag.Int("clusters", 400, "number of blobs/clusters")
+	dim := flag.Int("dim", 16, "dimensionality")
+	flag.Parse()
+
+	pts, labels, err := lshcluster.GenerateBlobs(lshcluster.BlobsConfig{
+		Points:   *points,
+		Clusters: *clusters,
+		Dim:      *dim,
+		Seed:     13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blobs: n=%d, k=%d, dim=%d\n", *points, *clusters, *dim)
+
+	for _, cfg := range []struct {
+		name string
+		lsh  *lshcluster.Params
+	}{
+		// With sign-bit rows, r must be large enough that vectors at
+		// wide angles (unrelated blobs) rarely agree on a whole band:
+		// at 90° a band of 12 bits collides with probability 0.5^12.
+		{"SimHash-K-Means 12b 12r", &lshcluster.Params{Bands: 12, Rows: 12}},
+		{"K-Means (exact)", nil},
+	} {
+		res, err := lshcluster.ClusterNumeric(pts, *dim, lshcluster.Config{
+			K: *clusters, Seed: 21, LSH: cfg.lsh,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		purity, err := lshcluster.Purity(res.Assign, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var avgShort float64
+		if n := res.Stats.NumIterations(); n > 0 {
+			avgShort = res.Stats.Iterations[n-1].AvgShortlist
+		}
+		fmt.Printf("%-24s %d iterations, total %v, mean iter %v, last shortlist %.2f, purity %.4f\n",
+			cfg.name, res.Stats.NumIterations(),
+			res.Stats.Total().Round(time.Millisecond),
+			res.Stats.MeanIterationTime().Round(time.Millisecond),
+			avgShort, purity)
+	}
+}

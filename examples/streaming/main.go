@@ -1,0 +1,79 @@
+// Streaming: the paper's further-work extension to online clustering.
+// Trains a batch MH-K-Modes model on an initial chunk of a synthetic
+// workload, then consumes the remainder as a stream: each arriving item
+// is assigned through the LSH index in one shot and folded into its
+// cluster's mode incrementally. Reports stream-side statistics and the
+// purity of the streamed assignments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lshcluster"
+)
+
+func main() {
+	items := flag.Int("items", 6000, "total items (batch chunk + stream)")
+	clusters := flag.Int("clusters", 200, "number of clusters")
+	warm := flag.Int("warm", 1500, "items used for the initial batch training")
+	flag.Parse()
+
+	ds, err := lshcluster.GenerateSynthetic(lshcluster.SyntheticConfig{
+		Items:    *items,
+		Clusters: *clusters,
+		Attrs:    60,
+		Domain:   40000,
+		Seed:     23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: batch-train modes on the first chunk. (Items are
+	// interleaved across clusters by the generator, so the chunk covers
+	// every cluster.)
+	warmRows := make([]lshcluster.Value, 0, *warm*ds.NumAttrs())
+	warmLabels := make([]int32, *warm)
+	for i := 0; i < *warm; i++ {
+		warmRows = append(warmRows, ds.Row(i)...)
+		warmLabels[i] = int32(ds.Label(i))
+	}
+	warmDS, err := lshcluster.NewDatasetFromValues(ds.AttrNames(), warmRows, warmLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := lshcluster.Params{Bands: 20, Rows: 3}
+	batch, err := lshcluster.Cluster(warmDS, lshcluster.Config{K: *clusters, Seed: 7, LSH: &params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch phase: %d items, %d iterations, purity %.4f\n",
+		*warm, batch.Stats.NumIterations(), batch.Stats.Purity)
+
+	// Phase 2: stream the rest through the trained model.
+	sc, err := lshcluster.StreamFromModel(batch.Model, params, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamLabels := make([]int32, 0, ds.NumItems()-*warm)
+	for i := *warm; i < ds.NumItems(); i++ {
+		if _, err := sc.Add(ds.Row(i), nil); err != nil {
+			log.Fatal(err)
+		}
+		streamLabels = append(streamLabels, int32(ds.Label(i)))
+	}
+	purity, err := lshcluster.Purity(sc.Assignments(), streamLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sc.Stats()
+	fmt.Printf("stream phase: %d items assigned online, purity %.4f\n", st.Items, purity)
+	fmt.Printf("  avg candidates per item: %.2f (k = %d)\n",
+		float64(st.CandidatesTotal)/float64(st.Items), *clusters)
+	fmt.Printf("  full-scan fallbacks: %d (%.1f%%, mostly at stream start)\n",
+		st.FullScans, 100*float64(st.FullScans)/float64(st.Items))
+	fmt.Printf("  distance comparisons per item: %.2f (exact algorithm would do %d)\n",
+		float64(st.Comparisons)/float64(st.Items), *clusters)
+}

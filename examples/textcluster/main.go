@@ -1,0 +1,82 @@
+// Textcluster: the paper's Yahoo! Answers experiment in miniature.
+// Generates a topic-labelled question corpus, runs the paper's pipeline
+// (tokenise → per-topic TF-IDF → threshold vocabulary → binary
+// word-presence items), then clusters the questions back into topics
+// with exact K-Modes and MH-K-Modes 1b1r, reporting purity and timings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"lshcluster"
+)
+
+func main() {
+	topics := flag.Int("topics", 100, "number of topics")
+	perTopic := flag.Int("per-topic", 80, "questions per topic")
+	threshold := flag.Float64("threshold", 0.5, "TF-IDF vocabulary threshold")
+	flag.Parse()
+
+	corpus, err := lshcluster.GenerateCorpus(lshcluster.CorpusConfig{
+		Topics:            *topics,
+		QuestionsPerTopic: *perTopic,
+		MislabelProb:      0.2, // users sometimes file under the wrong topic
+		Seed:              11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d questions across %d topics\n", len(corpus.Questions), *topics)
+
+	// Per-topic TF-IDF: each topic's questions form one document; words
+	// scoring above the threshold enter the vocabulary.
+	scorer := lshcluster.NewScorer()
+	byTopic := make([][]string, *topics)
+	for _, q := range corpus.Questions {
+		byTopic[q.Topic] = append(byTopic[q.Topic], q.Tokens...)
+	}
+	for i, toks := range byTopic {
+		scorer.AddTopic(corpus.TopicNames[i], toks)
+	}
+	vocab, err := scorer.SelectVocabulary(lshcluster.VocabConfig{
+		Threshold:        *threshold,
+		MaxWordsPerTopic: 10000,
+		Stopwords:        lshcluster.DefaultStopwords(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vocabulary at threshold %.2f: %d words -> %d binary attributes per item\n",
+		*threshold, vocab.Size(), vocab.Size())
+
+	docs := make([]lshcluster.Document, len(corpus.Questions))
+	for i, q := range corpus.Questions {
+		docs[i] = lshcluster.Document{Tokens: q.Tokens, Label: q.Topic}
+	}
+	ds, err := lshcluster.BuildBinaryDataset(docs, vocab)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []struct {
+		name string
+		lsh  *lshcluster.Params
+	}{
+		{"MH-K-Modes 1b 1r", &lshcluster.Params{Bands: 1, Rows: 1}},
+		{"K-Modes (exact)", nil},
+	} {
+		start := time.Now()
+		res, err := lshcluster.Cluster(ds, lshcluster.Config{K: *topics, Seed: 5, LSH: cfg.lsh})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %d iterations, %v total, purity %.4f\n",
+			cfg.name, res.Stats.NumIterations(), time.Since(start).Round(time.Millisecond),
+			res.Stats.Purity)
+	}
+	fmt.Println("\nNote: purity is capped by the injected label noise, mirroring the")
+	fmt.Println("paper's observation that user-chosen topics make ground truth imperfect.")
+}

@@ -1,0 +1,61 @@
+// Tuning: how to choose the bands (b) and rows (r) parameters, following
+// the paper's §III-D analysis. Prints the S-curve for a few
+// configurations, the cluster-level hit probabilities that make loose
+// parameters viable for MH-K-Modes, the cheapest configuration for a
+// target, and the §III-C error bound.
+package main
+
+import (
+	"fmt"
+
+	"lshcluster"
+)
+
+func main() {
+	sims := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.8}
+	configs := []lshcluster.Params{
+		{Bands: 1, Rows: 1},
+		{Bands: 20, Rows: 2},
+		{Bands: 20, Rows: 5},
+		{Bands: 50, Rows: 5},
+	}
+
+	fmt.Println("candidate-pair probability 1-(1-s^r)^b:")
+	fmt.Printf("%8s", "J \\ cfg")
+	for _, p := range configs {
+		fmt.Printf("%12v", p)
+	}
+	fmt.Println()
+	for _, s := range sims {
+		fmt.Printf("%8.2f", s)
+		for _, p := range configs {
+			fmt.Printf("%12.4f", p.CandidateProb(s))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncluster-hit probability with 10 similar items (the paper's point:")
+	fmt.Println("one collision per relevant cluster suffices, so loose parameters work):")
+	for _, s := range sims {
+		fmt.Printf("%8.2f", s)
+		for _, p := range configs {
+			fmt.Printf("%12.4f", p.ClusterHitProb(s, 10))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsteepest-rise similarity (1/b)^(1/r):")
+	for _, p := range configs {
+		fmt.Printf("  %v -> %.4f\n", p, p.ThresholdSimilarity())
+	}
+
+	if p, ok := lshcluster.SearchParams(0.25, 5, 0.99, 256, 8); ok {
+		fmt.Printf("\ncheapest configuration reaching 99%% cluster-hit at J=0.25 with 5 items: %v (%d hashes)\n",
+			p, p.SignatureLen())
+	}
+
+	p := lshcluster.Params{Bands: 25, Rows: 1}
+	fmt.Printf("\npaper §III-C worked example: m=100 attributes, %v, clusters of 20 items\n", p)
+	fmt.Printf("  probability the best cluster misses the shortlist ≤ %.4f (paper: ≈ 0.08)\n",
+		p.ErrorBound(100, 20))
+}

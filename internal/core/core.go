@@ -1,0 +1,593 @@
+// Package core implements the paper's primary contribution: a general
+// framework that accelerates centroid-based clustering algorithms by
+// using locality sensitive hashing to shrink the cluster search space
+// (§III-B).
+//
+// The framework is expressed as two small interfaces:
+//
+//   - Space: the clustering algorithm's own geometry — items, centroids,
+//     the dissimilarity measure, and centroid recomputation. K-Modes
+//     (internal/kmodes) and the numeric K-Means extension
+//     (internal/kmeans) both satisfy it.
+//
+//   - Accelerator: the LSH side — index the items once, then produce,
+//     for any item, a shortlist of candidate clusters by mapping the
+//     items colliding with it through the current assignment. The
+//     MinHash instantiation evaluated in the paper is
+//     MinHashAccelerator; the SimHash instantiation for numeric data is
+//     in internal/simhash.
+//
+// Run drives the iterative clustering. With a nil Accelerator it is the
+// exact baseline algorithm (every item compared against every centroid);
+// with an Accelerator it is the paper's accelerated variant, identical
+// except that each item is compared only against its shortlist.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"lshcluster/internal/runstats"
+)
+
+// Space is the centroid-clustering algorithm being accelerated. All
+// methods must be safe for concurrent *reads*; RecomputeCentroids is
+// called exclusively.
+type Space interface {
+	// NumItems returns n, the number of items.
+	NumItems() int
+	// NumClusters returns k, the number of centroids.
+	NumClusters() int
+	// Dissimilarity returns d(item, centroid_cluster) ≥ 0.
+	Dissimilarity(item, cluster int) float64
+	// BoundedDissimilarity behaves like Dissimilarity but may stop early
+	// and return any value ≥ bound once the result provably reaches
+	// bound. Used only under Options.EarlyAbandon.
+	BoundedDissimilarity(item, cluster int, bound float64) float64
+	// RecomputeCentroids recalculates every centroid from its members.
+	RecomputeCentroids(assign []int32)
+	// Cost evaluates the clustering objective under assign.
+	Cost(assign []int32) float64
+}
+
+// Querier produces cluster shortlists. Each Querier owns private scratch
+// space: a single Querier must not be used concurrently, but distinct
+// Queriers from one Accelerator may be.
+type Querier interface {
+	// Candidates returns the candidate clusters for item: the clusters
+	// currently containing the indexed items that collide with it
+	// (Algorithm 2 lines 10–12). assign maps items to clusters; entries
+	// < 0 mean "not yet assigned" and are skipped. The result is
+	// deduplicated, includes the item's own cluster whenever the item is
+	// indexed and assigned, and remains valid only until the next call.
+	Candidates(item int32, assign []int32) []int32
+}
+
+// Accelerator is the search-space reduction component of the framework.
+type Accelerator interface {
+	// Reset prepares an empty index for a clustering over numClusters
+	// clusters. It is called once per Run before any Insert.
+	Reset(numClusters int) error
+	// Insert indexes one item (the paper's single pass: "applying
+	// MinHash to each item").
+	Insert(item int32) error
+	// NewQuerier returns a query handle with private scratch.
+	NewQuerier() Querier
+}
+
+// BootstrapMode selects how the initial assignment and the index are
+// produced.
+type BootstrapMode int
+
+const (
+	// BootstrapFullScan follows the paper (§III-B step list): the first
+	// assignment compares every item against every centroid exactly;
+	// the index is built afterwards in a single pass. Its cost is
+	// reported in Run.Bootstrap, matching the paper's remark that the
+	// "initial extra step" is captured by total-time analysis.
+	BootstrapFullScan BootstrapMode = iota
+	// BootstrapSeeded is an ablation variant: the k seed items are
+	// indexed and assigned to their own clusters first; every other
+	// item is then assigned via the (growing) index, falling back to an
+	// exact scan when its shortlist is empty, and indexed immediately.
+	// Cheaper than a guaranteed full first pass, slightly less faithful
+	// to the exact algorithm's first assignment.
+	BootstrapSeeded
+)
+
+// UpdateMode selects when cluster references observed by LSH queries are
+// refreshed.
+type UpdateMode int
+
+const (
+	// UpdateImmediate matches the paper: "After each change, update the
+	// cluster reference in the MinHash index to the new cluster".
+	// Queries within a pass observe moves made earlier in the same pass.
+	// Requires single-threaded assignment.
+	UpdateImmediate UpdateMode = iota
+	// UpdateDeferred has queries read a snapshot of the assignment taken
+	// at the start of the pass; moves become visible at the next pass.
+	// This decouples items from each other and enables Workers > 1.
+	UpdateDeferred
+)
+
+// TieBreak selects the winner among equidistant candidate clusters.
+type TieBreak int
+
+const (
+	// TieBreakPreferCurrent keeps an item in its current cluster when a
+	// challenger only ties it. This damps oscillation and is the
+	// default.
+	TieBreakPreferCurrent TieBreak = iota
+	// TieBreakLowestIndex assigns the lowest-indexed cluster among the
+	// minima regardless of the current assignment, the behaviour of a
+	// numpy-style argmin such as the paper's reference implementation.
+	// Items may keep moving between tied clusters, which reproduces the
+	// sustained per-iteration move counts of the paper's text
+	// experiments (Figures 9c, 10d). EarlyAbandon is ignored for
+	// shortlist evaluation under this mode (exact distances are needed
+	// to resolve ties).
+	TieBreakLowestIndex
+)
+
+// Seeder is an optional Space capability: spaces that know which items
+// their initial centroids came from expose them for BootstrapSeeded.
+type Seeder interface {
+	Seeds() []int32
+}
+
+// Options configures Run. The zero value runs the exact baseline with
+// paper-faithful settings.
+type Options struct {
+	// Accelerator enables LSH acceleration; nil runs the exact
+	// algorithm.
+	Accelerator Accelerator
+	// MaxIterations caps the number of passes after bootstrap.
+	// 0 means DefaultMaxIterations.
+	MaxIterations int
+	// Bootstrap selects the bootstrap strategy (accelerated runs only).
+	Bootstrap BootstrapMode
+	// Update selects reference-update semantics (accelerated runs only).
+	Update UpdateMode
+	// EarlyAbandon enables bounded dissimilarity evaluation. The
+	// paper's implementation does not use it; off by default.
+	EarlyAbandon bool
+	// TieBreak selects tie-breaking among equidistant clusters.
+	TieBreak TieBreak
+	// SkipCost disables per-iteration objective evaluation (saves an
+	// O(n·m) pass per iteration when only timings are needed).
+	SkipCost bool
+	// Workers parallelises the assignment pass. Values < 2 mean
+	// single-threaded. Requires UpdateDeferred when an Accelerator is
+	// set.
+	Workers int
+	// OnIteration, when non-nil, receives each iteration's statistics
+	// as it completes (progress reporting).
+	OnIteration func(runstats.Iteration)
+	// SeedItems overrides the seed items used by BootstrapSeeded; when
+	// nil the Space must implement Seeder.
+	SeedItems []int32
+	// Context, when non-nil, cancels the run between passes: Run
+	// returns the context error, discarding partial progress. Large-k
+	// runs take minutes to hours; this is the off switch.
+	Context context.Context
+}
+
+// DefaultMaxIterations caps runs whose options leave MaxIterations zero.
+const DefaultMaxIterations = 100
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Assign maps every item to its final cluster.
+	Assign []int32
+	// Stats records bootstrap and per-iteration measurements.
+	Stats runstats.Run
+}
+
+// Run executes centroid-based clustering over space.
+//
+// Structure (paper §III-B): bootstrap (initial assignment + index
+// construction), then repeated passes of (assignment over candidate
+// clusters, centroid recomputation) until no item moves or the iteration
+// cap is reached.
+func Run(space Space, opts Options) (*Result, error) {
+	n, k := space.NumItems(), space.NumClusters()
+	if n == 0 || k == 0 {
+		return nil, fmt.Errorf("core: empty space (n=%d, k=%d)", n, k)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	if opts.Workers > 1 && opts.Accelerator != nil && opts.Update != UpdateDeferred {
+		return nil, fmt.Errorf("core: Workers > 1 requires UpdateDeferred")
+	}
+
+	d := &driver{
+		space: space,
+		opts:  opts,
+		n:     n,
+		k:     k,
+		assign: func() []int32 {
+			a := make([]int32, n)
+			for i := range a {
+				a[i] = -1
+			}
+			return a
+		}(),
+	}
+
+	if err := ctxErr(opts.Context); err != nil {
+		return nil, err
+	}
+	bootStart := time.Now()
+	if err := d.bootstrap(); err != nil {
+		return nil, err
+	}
+	space.RecomputeCentroids(d.assign)
+	res := &Result{Assign: d.assign}
+	res.Stats.Bootstrap = time.Since(bootStart)
+	res.Stats.Purity = math.NaN()
+
+	for iter := 1; iter <= maxIter; iter++ {
+		if err := ctxErr(opts.Context); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		moves, comps, cands := d.pass()
+		space.RecomputeCentroids(d.assign)
+		it := runstats.Iteration{
+			Index:           iter,
+			Duration:        time.Since(start),
+			Moves:           moves,
+			Comparisons:     comps,
+			CandidatesTotal: cands,
+			AvgShortlist:    float64(cands) / float64(n),
+			Cost:            math.NaN(),
+		}
+		if !opts.SkipCost {
+			it.Cost = space.Cost(d.assign)
+		}
+		res.Stats.Iterations = append(res.Stats.Iterations, it)
+		if opts.OnIteration != nil {
+			opts.OnIteration(it)
+		}
+		if moves == 0 {
+			res.Stats.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// driver carries the mutable state of one Run.
+type driver struct {
+	space   Space
+	opts    Options
+	n, k    int
+	assign  []int32
+	querier Querier
+	// snapshot holds the pass-start assignment under UpdateDeferred.
+	snapshot []int32
+}
+
+// bootstrap produces the initial assignment and, for accelerated runs,
+// the index.
+func (d *driver) bootstrap() error {
+	accel := d.opts.Accelerator
+	if accel == nil {
+		d.fullScanRange(0, d.n, d.assign, nil)
+		return nil
+	}
+	if err := accel.Reset(d.k); err != nil {
+		return fmt.Errorf("core: resetting accelerator: %w", err)
+	}
+	switch d.opts.Bootstrap {
+	case BootstrapFullScan:
+		d.fullScanRange(0, d.n, d.assign, nil)
+		for i := 0; i < d.n; i++ {
+			if err := accel.Insert(int32(i)); err != nil {
+				return fmt.Errorf("core: indexing item %d: %w", i, err)
+			}
+		}
+	case BootstrapSeeded:
+		seeds := d.opts.SeedItems
+		if seeds == nil {
+			s, ok := d.space.(Seeder)
+			if !ok {
+				return fmt.Errorf("core: BootstrapSeeded requires SeedItems or a Seeder space")
+			}
+			seeds = s.Seeds()
+		}
+		if len(seeds) != d.k {
+			return fmt.Errorf("core: %d seed items for %d clusters", len(seeds), d.k)
+		}
+		isSeed := make([]bool, d.n)
+		for c, item := range seeds {
+			if item < 0 || int(item) >= d.n {
+				return fmt.Errorf("core: seed item %d out of range", item)
+			}
+			d.assign[item] = int32(c)
+			isSeed[item] = true
+			if err := accel.Insert(item); err != nil {
+				return fmt.Errorf("core: indexing seed %d: %w", item, err)
+			}
+		}
+		q := accel.NewQuerier()
+		for i := 0; i < d.n; i++ {
+			if isSeed[i] {
+				continue
+			}
+			shortlist := q.Candidates(int32(i), d.assign)
+			if len(shortlist) == 0 {
+				d.fullScanRange(i, i+1, d.assign, nil)
+			} else {
+				d.assign[i] = d.bestOf(i, -1, shortlist, nil)
+			}
+			if err := accel.Insert(int32(i)); err != nil {
+				return fmt.Errorf("core: indexing item %d: %w", i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown bootstrap mode %d", d.opts.Bootstrap)
+	}
+	d.querier = accel.NewQuerier()
+	return nil
+}
+
+// fullScanRange exactly assigns items in [lo, hi) by scanning all k
+// centroids, writing into out. Counters, when non-nil, receive the
+// comparison count.
+func (d *driver) fullScanRange(lo, hi int, out []int32, comps *int64) {
+	for i := lo; i < hi; i++ {
+		cur := int(out[i]) // -1 during bootstrap
+		best := d.bestExact(i, cur, comps)
+		out[i] = int32(best)
+	}
+}
+
+// bestExact returns the closest cluster to item over all k clusters.
+// Under TieBreakPreferCurrent the current cluster wins ties; under
+// TieBreakLowestIndex the ascending scan with strict improvement yields
+// the lowest-indexed minimum.
+func (d *driver) bestExact(item, cur int, comps *int64) int {
+	var bestC int
+	var bestD float64
+	if cur >= 0 && d.opts.TieBreak == TieBreakPreferCurrent {
+		bestC, bestD = cur, d.space.Dissimilarity(item, cur)
+	} else {
+		bestC, bestD = 0, d.space.Dissimilarity(item, 0)
+	}
+	if comps != nil {
+		*comps++
+	}
+	skipCur := cur
+	if d.opts.TieBreak == TieBreakLowestIndex {
+		skipCur = -1 // the current cluster gets no special treatment
+	}
+	for c := 0; c < d.k; c++ {
+		if c == bestC || c == skipCur {
+			continue
+		}
+		var dist float64
+		if d.opts.EarlyAbandon {
+			dist = d.space.BoundedDissimilarity(item, c, bestD)
+		} else {
+			dist = d.space.Dissimilarity(item, c)
+		}
+		if comps != nil {
+			*comps++
+		}
+		if dist < bestD {
+			bestD, bestC = dist, c
+		}
+	}
+	return bestC
+}
+
+// bestOf returns the closest cluster to item among candidates plus the
+// current cluster when cur ≥ 0, resolving ties per Options.TieBreak.
+func (d *driver) bestOf(item, cur int, candidates []int32, comps *int64) int32 {
+	if d.opts.TieBreak == TieBreakLowestIndex {
+		return d.bestOfLowestIndex(item, cur, candidates, comps)
+	}
+	var bestC int32
+	var bestD float64
+	evaluated := false
+	if cur >= 0 {
+		bestC, bestD = int32(cur), d.space.Dissimilarity(item, cur)
+		evaluated = true
+		if comps != nil {
+			*comps++
+		}
+	}
+	for _, c := range candidates {
+		if evaluated && c == bestC {
+			continue
+		}
+		if cur >= 0 && c == int32(cur) {
+			continue
+		}
+		var dist float64
+		if !evaluated {
+			dist = d.space.Dissimilarity(item, int(c))
+		} else if d.opts.EarlyAbandon {
+			dist = d.space.BoundedDissimilarity(item, int(c), bestD)
+		} else {
+			dist = d.space.Dissimilarity(item, int(c))
+		}
+		if comps != nil {
+			*comps++
+		}
+		if !evaluated || dist < bestD {
+			bestD, bestC = dist, c
+			evaluated = true
+		}
+	}
+	return bestC
+}
+
+// bestOfLowestIndex is the numpy-argmin variant: the lowest-indexed
+// minimum over the union of the current cluster and the candidates wins,
+// even when that means moving on a tie.
+func (d *driver) bestOfLowestIndex(item, cur int, candidates []int32, comps *int64) int32 {
+	bestC := int32(-1)
+	bestD := math.Inf(1)
+	if cur >= 0 {
+		bestC, bestD = int32(cur), d.space.Dissimilarity(item, cur)
+		if comps != nil {
+			*comps++
+		}
+	}
+	for _, c := range candidates {
+		if cur >= 0 && c == int32(cur) {
+			continue
+		}
+		dist := d.space.Dissimilarity(item, int(c))
+		if comps != nil {
+			*comps++
+		}
+		if dist < bestD || (dist == bestD && c < bestC) {
+			bestD, bestC = dist, c
+		}
+	}
+	return bestC
+}
+
+// pass runs one assignment pass and reports (moves, comparisons,
+// candidate-cluster total).
+func (d *driver) pass() (moves int, comps, cands int64) {
+	if d.opts.Accelerator == nil {
+		return d.exactPass()
+	}
+	view := d.assign
+	if d.opts.Update == UpdateDeferred {
+		d.snapshot = append(d.snapshot[:0], d.assign...)
+		view = d.snapshot
+	}
+	if d.opts.Workers > 1 && d.opts.Update == UpdateDeferred {
+		return d.parallelPass(view)
+	}
+	q := d.querier
+	for i := 0; i < d.n; i++ {
+		cur := d.assign[i]
+		shortlist := q.Candidates(int32(i), view)
+		cands += int64(len(shortlist))
+		best := d.bestOf(i, int(cur), shortlist, &comps)
+		if best != cur {
+			// The write below *is* the paper's "update the cluster
+			// reference in the MinHash index": buckets store item IDs
+			// and queries map them through this slice.
+			d.assign[i] = best
+			moves++
+		}
+	}
+	return moves, comps, cands
+}
+
+func (d *driver) exactPass() (moves int, comps, cands int64) {
+	if d.opts.Workers > 1 {
+		return d.parallelExactPass()
+	}
+	for i := 0; i < d.n; i++ {
+		cur := d.assign[i]
+		best := int32(d.bestExact(i, int(cur), &comps))
+		cands += int64(d.k)
+		if best != cur {
+			d.assign[i] = best
+			moves++
+		}
+	}
+	return moves, comps, cands
+}
+
+// parallelPass splits the accelerated assignment across Workers
+// goroutines. Safe because queries read the immutable snapshot and each
+// item's assignment cell is written by exactly one worker.
+func (d *driver) parallelPass(view []int32) (moves int, comps, cands int64) {
+	type counters struct {
+		moves        int
+		comps, cands int64
+	}
+	w := d.opts.Workers
+	res := make([]counters, w)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * d.n / w
+		hi := (g + 1) * d.n / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			q := d.opts.Accelerator.NewQuerier()
+			c := &res[g]
+			for i := lo; i < hi; i++ {
+				cur := d.assign[i]
+				shortlist := q.Candidates(int32(i), view)
+				c.cands += int64(len(shortlist))
+				best := d.bestOf(i, int(cur), shortlist, &c.comps)
+				if best != cur {
+					d.assign[i] = best
+					c.moves++
+				}
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range res {
+		moves += c.moves
+		comps += c.comps
+		cands += c.cands
+	}
+	return moves, comps, cands
+}
+
+func (d *driver) parallelExactPass() (moves int, comps, cands int64) {
+	type counters struct {
+		moves        int
+		comps, cands int64
+	}
+	w := d.opts.Workers
+	res := make([]counters, w)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * d.n / w
+		hi := (g + 1) * d.n / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			c := &res[g]
+			for i := lo; i < hi; i++ {
+				cur := d.assign[i]
+				best := int32(d.bestExact(i, int(cur), &c.comps))
+				c.cands += int64(d.k)
+				if best != cur {
+					d.assign[i] = best
+					c.moves++
+				}
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range res {
+		moves += c.moves
+		comps += c.comps
+		cands += c.cands
+	}
+	return moves, comps, cands
+}

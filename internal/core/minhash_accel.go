@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"lshcluster/internal/dataset"
+	"lshcluster/internal/lsh"
+)
+
+// MinHashAccelerator implements Accelerator with the MinHash banding
+// index of internal/lsh over a categorical dataset — the instantiation
+// the paper evaluates as MH-K-Modes. Items are indexed by the set of
+// their *present* attribute values (Algorithm 2 lines 1–5); queries map
+// colliding items to their current clusters and deduplicate, yielding the
+// candidate-cluster shortlist (lines 10–12).
+type MinHashAccelerator struct {
+	ds     *dataset.Dataset
+	params lsh.Params
+	seed   uint64
+	index  *lsh.Index
+	k      int
+	setBuf []uint64
+}
+
+// NewMinHashAccelerator creates an accelerator for ds with the given
+// banding parameters. seed makes the hash family deterministic.
+func NewMinHashAccelerator(ds *dataset.Dataset, params lsh.Params, seed uint64) (*MinHashAccelerator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &MinHashAccelerator{ds: ds, params: params, seed: seed}, nil
+}
+
+// Params returns the banding configuration.
+func (a *MinHashAccelerator) Params() lsh.Params { return a.params }
+
+// Index exposes the underlying LSH index (nil before Reset), e.g. for
+// bucket-occupancy diagnostics.
+func (a *MinHashAccelerator) Index() *lsh.Index { return a.index }
+
+// Reset discards any previous index and prepares a fresh one.
+func (a *MinHashAccelerator) Reset(numClusters int) error {
+	if numClusters < 1 {
+		return fmt.Errorf("core: numClusters must be ≥ 1, got %d", numClusters)
+	}
+	ix, err := lsh.NewIndex(a.params, a.seed, a.ds.NumItems())
+	if err != nil {
+		return err
+	}
+	a.index = ix
+	a.k = numClusters
+	return nil
+}
+
+// Insert MinHashes item and files it under its band buckets.
+func (a *MinHashAccelerator) Insert(item int32) error {
+	if a.index == nil {
+		return fmt.Errorf("core: Insert before Reset")
+	}
+	a.setBuf = a.ds.PresentValues(int(item), a.setBuf[:0])
+	return a.index.Insert(item, a.setBuf)
+}
+
+// NewQuerier returns a query handle with its own deduplication scratch.
+func (a *MinHashAccelerator) NewQuerier() Querier {
+	return NewIndexQuerier(a.index, a.k)
+}
+
+// IndexQuerier adapts a populated lsh.Index into a Querier: colliding
+// items are mapped through the live assignment and deduplicated into a
+// cluster shortlist with an epoch-stamp array (no per-query clearing).
+// Any LSH family that feeds an lsh.Index — MinHash here, SimHash in the
+// numeric extension — gets shortlist semantics from this adapter.
+type IndexQuerier struct {
+	index  *lsh.Index
+	stamps []uint32
+	epoch  uint32
+	buf    []int32
+}
+
+// NewIndexQuerier creates a querier over index for a clustering with
+// numClusters clusters.
+func NewIndexQuerier(index *lsh.Index, numClusters int) *IndexQuerier {
+	return &IndexQuerier{index: index, stamps: make([]uint32, numClusters)}
+}
+
+// Candidates returns the deduplicated cluster shortlist for item. The
+// returned slice is reused by the next call.
+func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
+	q.epoch++
+	if q.epoch == 0 { // epoch counter wrapped: invalidate all stamps
+		for i := range q.stamps {
+			q.stamps[i] = 0
+		}
+		q.epoch = 1
+	}
+	q.buf = q.buf[:0]
+	q.index.Candidates(item, func(other int32) {
+		c := assign[other]
+		if c < 0 {
+			return // not yet assigned (seeded bootstrap)
+		}
+		if q.stamps[c] != q.epoch {
+			q.stamps[c] = q.epoch
+			q.buf = append(q.buf, c)
+		}
+	})
+	return q.buf
+}

@@ -1,0 +1,213 @@
+package datagen
+
+import (
+	"testing"
+
+	"lshcluster/internal/dataset"
+)
+
+func cfg() Config {
+	return Config{Items: 300, Clusters: 20, Attrs: 30, Domain: 500, Seed: 7}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems() != 300 || ds.NumAttrs() != 30 {
+		t.Fatalf("shape = (%d,%d)", ds.NumItems(), ds.NumAttrs())
+	}
+	if !ds.Labeled() {
+		t.Fatal("synthetic data must carry ground truth")
+	}
+}
+
+func TestEveryClusterNonEmptyAndBalanced(t *testing.T) {
+	ds, err := Generate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < ds.NumItems(); i++ {
+		counts[ds.Label(i)]++
+	}
+	if len(counts) != 20 {
+		t.Fatalf("%d clusters populated, want 20", len(counts))
+	}
+	for c, n := range counts {
+		if n != 15 {
+			t.Fatalf("cluster %d has %d items, want 15", c, n)
+		}
+	}
+}
+
+func TestRuleConsistency(t *testing.T) {
+	g, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		rule := g.Rule(ds.Label(i))
+		row := ds.Row(i)
+		for j, a := range rule.Attrs {
+			if row[a] != rule.Values[j] {
+				t.Fatalf("item %d violates its cluster rule at attr %d", i, a)
+			}
+		}
+	}
+}
+
+func TestRuleLengthsWithinFractions(t *testing.T) {
+	g, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Config().Attrs
+	lo, hi := int(0.4*float64(m)), int(0.8*float64(m))
+	for c := 0; c < g.Config().Clusters; c++ {
+		l := len(g.Rule(c).Attrs)
+		if l < lo || l > hi {
+			t.Fatalf("cluster %d rule length %d outside [%d,%d]", c, l, lo, hi)
+		}
+		seen := map[int32]bool{}
+		for _, a := range g.Rule(c).Attrs {
+			if seen[a] {
+				t.Fatalf("cluster %d rule repeats attribute %d", c, a)
+			}
+			seen[a] = true
+			if a < 0 || int(a) >= m {
+				t.Fatalf("cluster %d rule attribute %d out of range", c, a)
+			}
+		}
+	}
+}
+
+func TestValueIDsAttributeTagged(t *testing.T) {
+	ds, err := Generate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := 500
+	for i := 0; i < 50; i++ {
+		row := ds.Row(i)
+		for a, v := range row {
+			lo := dataset.Value(a*domain + 1)
+			hi := dataset.Value((a + 1) * domain)
+			if v < lo || v > hi {
+				t.Fatalf("item %d attr %d value %d outside its attribute band [%d,%d]",
+					i, a, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Values(), b.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("value %d differs across identically seeded generations", i)
+		}
+	}
+	c2 := cfg()
+	c2.Seed = 8
+	c, err := Generate(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range av {
+		if av[i] == c.Values()[i] {
+			same++
+		}
+	}
+	if same == len(av) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestIntraClusterSimilarityExceedsInter(t *testing.T) {
+	ds, err := Generate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items 0 and 20 share cluster 0 (i mod k); 0 and 1 do not.
+	sameJ := ds.Jaccard(0, 20)
+	diffJ := ds.Jaccard(0, 1)
+	if sameJ <= diffJ {
+		t.Fatalf("intra-cluster Jaccard %v not above inter-cluster %v", sameJ, diffJ)
+	}
+	// Rule covers ≥ 40% of attributes → J ≥ 0.4m/(2m−0.4m) = 0.25.
+	if sameJ < 0.2 {
+		t.Fatalf("intra-cluster Jaccard %v suspiciously low", sameJ)
+	}
+}
+
+func TestFlipProbCorruption(t *testing.T) {
+	c := cfg()
+	c.FlipProb = 0.5
+	g, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	total := 0
+	for i := 0; i < ds.NumItems(); i++ {
+		rule := g.Rule(ds.Label(i))
+		row := ds.Row(i)
+		for j, a := range rule.Attrs {
+			total++
+			if row[a] != rule.Values[j] {
+				violations++
+			}
+		}
+	}
+	frac := float64(violations) / float64(total)
+	// Each rule attribute is corrupted w.p. 0.5·(1−1/Domain) ≈ 0.499.
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("corruption rate %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Items: 0, Clusters: 1, Attrs: 1, Domain: 2},
+		{Items: 5, Clusters: 6, Attrs: 1, Domain: 2},
+		{Items: 5, Clusters: 0, Attrs: 1, Domain: 2},
+		{Items: 5, Clusters: 2, Attrs: 0, Domain: 2},
+		{Items: 5, Clusters: 2, Attrs: 1, Domain: 1},
+		{Items: 5, Clusters: 2, Attrs: 1, Domain: 2, MinRuleFrac: 0.9, MaxRuleFrac: 0.5},
+		{Items: 5, Clusters: 2, Attrs: 1, Domain: 2, FlipProb: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: New(%+v) succeeded, want error", i, c)
+		}
+	}
+}
+
+func TestAttrNames(t *testing.T) {
+	names := AttrNames(3)
+	want := []string{"a0", "a1", "a2"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("AttrNames = %v", names)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import "fmt"
+
+// Builder incrementally assembles a Dataset from raw string rows,
+// interning values as they arrive.
+type Builder struct {
+	attrNames []string
+	dict      *Dict
+	values    []Value
+	labels    []int32
+	labelled  bool
+	rows      int
+}
+
+// NewBuilder creates a builder for items with the given attributes.
+func NewBuilder(attrNames []string) *Builder {
+	return &Builder{
+		attrNames: attrNames,
+		dict:      NewDict(len(attrNames)),
+	}
+}
+
+// Dict exposes the builder's dictionary, e.g. to pre-intern absence
+// markers with InternPresence before adding rows.
+func (b *Builder) Dict() *Dict { return b.dict }
+
+// Add appends an unlabelled item. row must have one raw value per
+// attribute.
+func (b *Builder) Add(row []string) error {
+	return b.add(row, -1, false)
+}
+
+// AddLabeled appends an item with a ground-truth label. Mixing Add and
+// AddLabeled in one builder is an error.
+func (b *Builder) AddLabeled(row []string, label int) error {
+	return b.add(row, label, true)
+}
+
+// AddPresence appends an item whose values carry explicit presence flags
+// (used by text pipelines, where "word absent" values must be invisible
+// to MinHash). present must parallel row.
+func (b *Builder) AddPresence(row []string, present []bool, label int, labelled bool) error {
+	if len(row) != len(b.attrNames) {
+		return fmt.Errorf("dataset: row has %d values, want %d", len(row), len(b.attrNames))
+	}
+	if len(present) != len(row) {
+		return fmt.Errorf("dataset: presence mask has %d entries, want %d", len(present), len(row))
+	}
+	if err := b.checkLabelled(labelled); err != nil {
+		return err
+	}
+	for a, raw := range row {
+		b.values = append(b.values, b.dict.InternPresence(a, raw, present[a]))
+	}
+	if labelled {
+		b.labels = append(b.labels, int32(label))
+	}
+	b.rows++
+	return nil
+}
+
+func (b *Builder) add(row []string, label int, labelled bool) error {
+	if len(row) != len(b.attrNames) {
+		return fmt.Errorf("dataset: row has %d values, want %d", len(row), len(b.attrNames))
+	}
+	if err := b.checkLabelled(labelled); err != nil {
+		return err
+	}
+	for a, raw := range row {
+		b.values = append(b.values, b.dict.Intern(a, raw))
+	}
+	if labelled {
+		b.labels = append(b.labels, int32(label))
+	}
+	b.rows++
+	return nil
+}
+
+func (b *Builder) checkLabelled(labelled bool) error {
+	if b.rows == 0 {
+		b.labelled = labelled
+		return nil
+	}
+	if b.labelled != labelled {
+		return fmt.Errorf("dataset: cannot mix labelled and unlabelled rows")
+	}
+	return nil
+}
+
+// NumItems returns the number of rows added so far.
+func (b *Builder) NumItems() int { return b.rows }
+
+// Build finalises the dataset. The builder must not be reused afterwards.
+func (b *Builder) Build() (*Dataset, error) {
+	var labels []int32
+	if b.labelled {
+		labels = b.labels
+	}
+	return New(b.attrNames, b.values, labels, b.dict)
+}

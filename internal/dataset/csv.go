@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// LabelColumn is the reserved header name used for the ground-truth label
+// column in CSV interchange files.
+const LabelColumn = "_label"
+
+// WriteCSV serialises the dataset as CSV: a header row of attribute names
+// (plus LabelColumn when labelled), then one row per item with raw string
+// values. Datasets without a dictionary serialise value IDs as decimal
+// strings, which round-trips through ReadCSV as plain categories.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), ds.AttrNames()...)
+	if ds.Labeled() {
+		header = append(header, LabelColumn)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, 0, len(header))
+	for i := 0; i < ds.NumItems(); i++ {
+		row = row[:0]
+		for _, v := range ds.Row(i) {
+			row = append(row, rawOf(ds, v))
+		}
+		if ds.Labeled() {
+			row = append(row, strconv.Itoa(ds.Label(i)))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+func rawOf(ds *Dataset, v Value) string {
+	if d := ds.Dict(); d != nil {
+		return d.Raw(v)
+	}
+	return strconv.FormatUint(uint64(v), 10)
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any compatible CSV with
+// a header row). A trailing LabelColumn column, when found, becomes the
+// ground-truth labels.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	labelled := len(header) > 0 && header[len(header)-1] == LabelColumn
+	attrs := header
+	if labelled {
+		attrs = header[:len(header)-1]
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no attribute columns")
+	}
+	b := NewBuilder(append([]string(nil), attrs...))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		if labelled {
+			lab, err := strconv.Atoi(rec[len(rec)-1])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: bad label %q: %w", line, rec[len(rec)-1], err)
+			}
+			if err := b.AddLabeled(rec[:len(rec)-1], lab); err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+			}
+		} else {
+			if err := b.Add(rec); err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+			}
+		}
+	}
+	if b.NumItems() == 0 {
+		return nil, fmt.Errorf("dataset: CSV contains no items")
+	}
+	return b.Build()
+}

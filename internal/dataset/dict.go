@@ -1,0 +1,93 @@
+package dataset
+
+import "fmt"
+
+// Dict interns (attribute, raw string value) pairs to dense Value IDs
+// starting at 1, and records a presence flag per ID. It is the bridge
+// between human-readable data (CSV, text pipelines) and the integer
+// representation the algorithms operate on.
+//
+// Dict is not safe for concurrent mutation; build it fully before sharing.
+type Dict struct {
+	ids     map[dictKey]Value
+	attrs   []int32  // per ID (index = id−1): owning attribute
+	raws    []string // per ID: raw string value
+	flags   []bool   // per ID: presence flag
+	numAttr int
+}
+
+type dictKey struct {
+	attr int32
+	raw  string
+}
+
+// NewDict creates an empty dictionary for numAttrs attributes.
+func NewDict(numAttrs int) *Dict {
+	return &Dict{
+		ids:     make(map[dictKey]Value),
+		numAttr: numAttrs,
+	}
+}
+
+// NumAttrs returns the number of attributes the dictionary was built for.
+func (d *Dict) NumAttrs() int { return d.numAttr }
+
+// Size returns the number of distinct interned values.
+func (d *Dict) Size() int { return len(d.raws) }
+
+// Intern returns the ID for (attr, raw), creating it as a present value if
+// unseen. attr must be in [0, NumAttrs).
+func (d *Dict) Intern(attr int, raw string) Value {
+	return d.InternPresence(attr, raw, true)
+}
+
+// InternPresence returns the ID for (attr, raw), creating it with the
+// given presence flag if unseen. The presence flag of an existing ID is
+// not altered: the first interning wins, so encode presence consistently.
+func (d *Dict) InternPresence(attr int, raw string, present bool) Value {
+	if attr < 0 || attr >= d.numAttr {
+		panic(fmt.Sprintf("dataset: attribute %d out of range [0,%d)", attr, d.numAttr))
+	}
+	k := dictKey{attr: int32(attr), raw: raw}
+	if id, ok := d.ids[k]; ok {
+		return id
+	}
+	d.attrs = append(d.attrs, int32(attr))
+	d.raws = append(d.raws, raw)
+	d.flags = append(d.flags, present)
+	id := Value(len(d.raws)) // IDs start at 1
+	d.ids[k] = id
+	return id
+}
+
+// Lookup returns the ID for (attr, raw) and whether it exists.
+func (d *Dict) Lookup(attr int, raw string) (Value, bool) {
+	id, ok := d.ids[dictKey{attr: int32(attr), raw: raw}]
+	return id, ok
+}
+
+// Raw returns the raw string for an interned ID. It panics on the reserved
+// zero Value or an unknown ID.
+func (d *Dict) Raw(v Value) string {
+	return d.raws[d.index(v)]
+}
+
+// Attr returns the attribute index that owns ID v.
+func (d *Dict) Attr(v Value) int {
+	return int(d.attrs[d.index(v)])
+}
+
+// present implements the presence table used by Dataset.
+func (d *Dict) present(v Value) bool {
+	return d.flags[d.index(v)]
+}
+
+// Present reports whether ID v is flagged as a present feature.
+func (d *Dict) Present(v Value) bool { return d.present(v) }
+
+func (d *Dict) index(v Value) int {
+	if v == 0 || int(v) > len(d.raws) {
+		panic(fmt.Sprintf("dataset: value ID %d not interned", v))
+	}
+	return int(v) - 1
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinySuite runs at 1% of paper scale with logging captured, fast enough
+// for CI while keeping the comparative shape intact.
+func tinySuite(buf *bytes.Buffer) *Suite {
+	return NewSuite(Config{Scale: 0.01, Seed: 11, Out: buf, Quiet: true})
+}
+
+func TestScaledSpec(t *testing.T) {
+	s := SynthA.Scaled(0.01)
+	if s.Items != 900 || s.Clusters != 200 || s.Attrs != 100 {
+		t.Fatalf("scaled spec = %+v", s)
+	}
+	tiny := SynthA.Scaled(0.00001)
+	if tiny.Items < 50 || tiny.Clusters < 5 {
+		t.Fatalf("minimum clamps not applied: %+v", tiny)
+	}
+	if tiny.Clusters > tiny.Items {
+		t.Fatalf("clusters exceed items: %+v", tiny)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if MH(20, 5).Name != "MH-K-Modes 20b 5r" {
+		t.Fatalf("variant name = %q", MH(20, 5).Name)
+	}
+	if Baseline.Params != nil {
+		t.Fatal("baseline must have nil params")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Table(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Table(2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II",
+		"0.6513", // b=10, s=0.1, r=1
+		"0.9990", // b=10, s=0.5, r=1
+		"0.2720", // b=10, s=0.5, r=5 pair prob
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+	if err := s.Table(3); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinySuite(&buf).Figure(11); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+// TestFigure2Shape checks the paper's qualitative claims on dataset A:
+// every MH variant spends less time per iteration than K-Modes, produces
+// shortlists orders of magnitude below k, and loses little purity.
+func TestFigure2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := s.synthComparison(SynthA, variants2, s.cfg.MaxIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cmp.BaselineRun()
+	if base == nil {
+		t.Fatal("baseline run missing")
+	}
+	k := float64(cmp.Spec.Clusters)
+	for _, r := range cmp.Runs {
+		if r == base {
+			for _, it := range r.Iterations {
+				if it.AvgShortlist != k {
+					t.Fatalf("baseline shortlist %v != k", it.AvgShortlist)
+				}
+			}
+			continue
+		}
+		if r.MeanIterationTime() >= base.MeanIterationTime() {
+			t.Errorf("%s mean iteration %v not below baseline %v",
+				r.Name, r.MeanIterationTime(), base.MeanIterationTime())
+		}
+		for _, it := range r.Iterations {
+			if it.AvgShortlist > k/10 {
+				t.Errorf("%s shortlist %v not ≪ k=%v", r.Name, it.AvgShortlist, k)
+			}
+		}
+		if r.Purity < base.Purity-0.1 {
+			t.Errorf("%s purity %v far below baseline %v", r.Name, r.Purity, base.Purity)
+		}
+		if !r.Converged {
+			t.Errorf("%s did not converge", r.Name)
+		}
+	}
+}
+
+func TestComparisonCaching(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	a, err := s.synthComparison(SynthA, variants2, s.cfg.MaxIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.synthComparison(SynthA, variants2, s.cfg.MaxIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical requests were not cached")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Figure9(); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := s.yahooComparison(0.7, variants9, s.cfg.MaxIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cmp.BaselineRun()
+	mh := cmp.Run(MH(1, 1).Name)
+	if base == nil || mh == nil {
+		t.Fatal("runs missing")
+	}
+	// Figure 9b: the 1b1r shortlist is well below the full cluster set.
+	lastMH := mh.Iterations[len(mh.Iterations)-1]
+	if lastMH.AvgShortlist >= float64(base.Iterations[0].AvgShortlist)/2 {
+		t.Errorf("text shortlist %v not well below k=%v",
+			lastMH.AvgShortlist, base.Iterations[0].AvgShortlist)
+	}
+	// Figure 9e: purity within a few points of the baseline.
+	if mh.Purity < base.Purity-0.1 {
+		t.Errorf("MH purity %v far below baseline %v", mh.Purity, base.Purity)
+	}
+	out := buf.String()
+	for _, want := range []string{"9a:", "9b:", "9c:", "9d:", "9e:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 9 output missing %q", want)
+		}
+	}
+}
+
+// TestRemainingFiguresRun exercises every figure runner the shape tests
+// above don't cover, at an ultra-tiny scale, checking the printed
+// structure of each.
+func TestRemainingFiguresRun(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(Config{Scale: 0.004, Seed: 4, Out: &buf, Quiet: true, MaxIterations: 8})
+	wants := map[int][]string{
+		3:  {"Figure 3", "3a:", "3b:", "3c:", "3d:"},
+		4:  {"Figure 4", "4a:", "4b:", "4c:"},
+		5:  {"Figure 5", "5a:", "5b:"},
+		6:  {"Figure 6", "6a:", "6b:", "6c:"},
+		7:  {"Figure 7", "7a:", "7e:", "speedup"},
+		8:  {"Figure 8", "8a:", "8e:", "purity"},
+		10: {"Figure 10", "10a:", "10b:", "10c:", "10d:"},
+	}
+	for fig := 3; fig <= 10; fig++ {
+		if fig == 9 {
+			continue // covered by TestFigure9Shape
+		}
+		if err := s.Figure(fig); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+	out := buf.String()
+	for fig, strs := range wants {
+		for _, w := range strs {
+			if !strings.Contains(out, w) {
+				t.Errorf("figure %d output missing %q", fig, w)
+			}
+		}
+	}
+}
+
+func TestCSVDump(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	s := NewSuite(Config{Scale: 0.01, Seed: 11, Out: &buf, Quiet: true, CSVDir: dir})
+	if err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(dir + "/fig2.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "run,iteration,duration_ms") {
+		t.Fatalf("CSV header missing: %q", firstLine(data))
+	}
+	if !strings.Contains(data, "K-Modes") {
+		t.Fatal("CSV missing baseline rows")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III-D Tables I–II, §IV Figures 2–10). Each runner builds
+// the corresponding workload, executes the baseline K-Modes and the
+// paper's MH-K-Modes parameter variants from identical initial centroids,
+// and prints the same rows/series the paper reports.
+//
+// Workload sizes scale with Config.Scale (default 0.05): the paper's runs
+// took days of single-threaded CPU time; the scaled runs preserve the
+// comparative shape — who wins, by what factor, how the curves move —
+// which is what a reproduction on different hardware can check.
+package experiments
+
+import (
+	"fmt"
+
+	"lshcluster/internal/lsh"
+)
+
+// SynthSpec describes one synthetic dataset of the paper (§IV-A).
+type SynthSpec struct {
+	Name     string
+	Items    int
+	Attrs    int
+	Clusters int
+}
+
+// The paper's five synthetic datasets plus the sixth configuration that
+// only appears in Figure 6b (250k items at 40k clusters).
+var (
+	SynthA = SynthSpec{Name: "A", Items: 90000, Attrs: 100, Clusters: 20000}
+	SynthB = SynthSpec{Name: "B", Items: 90000, Attrs: 100, Clusters: 40000}
+	SynthC = SynthSpec{Name: "C", Items: 250000, Attrs: 100, Clusters: 20000}
+	SynthD = SynthSpec{Name: "D", Items: 90000, Attrs: 200, Clusters: 20000}
+	SynthE = SynthSpec{Name: "E", Items: 90000, Attrs: 400, Clusters: 20000}
+	SynthF = SynthSpec{Name: "F", Items: 250000, Attrs: 100, Clusters: 40000}
+)
+
+// Scaled multiplies item and cluster counts by factor (attribute count is
+// preserved: the per-comparison cost is part of the paper's claims),
+// clamping to sane minimums.
+func (s SynthSpec) Scaled(factor float64) SynthSpec {
+	out := s
+	out.Items = clampMin(int(float64(s.Items)*factor), 50)
+	out.Clusters = clampMin(int(float64(s.Clusters)*factor), 5)
+	if out.Clusters > out.Items {
+		out.Clusters = out.Items
+	}
+	return out
+}
+
+func clampMin(v, lo int) int {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+func (s SynthSpec) String() string {
+	return fmt.Sprintf("synth-%s (n=%d, m=%d, k=%d)", s.Name, s.Items, s.Attrs, s.Clusters)
+}
+
+// Variant is one algorithm configuration in a comparison: the exact
+// baseline (nil Params) or MH-K-Modes with the given banding parameters.
+type Variant struct {
+	Name   string
+	Params *lsh.Params
+}
+
+// Baseline is the exact K-Modes variant.
+var Baseline = Variant{Name: "K-Modes"}
+
+// MH constructs the MH-K-Modes variant named in the paper's style
+// ("MH-K-Modes 20b 5r").
+func MH(bands, rows int) Variant {
+	p := lsh.Params{Bands: bands, Rows: rows}
+	return Variant{Name: fmt.Sprintf("MH-K-Modes %db %dr", bands, rows), Params: &p}
+}
+
+// The paper's recurring variant sets.
+var (
+	variants2  = []Variant{MH(20, 2), MH(20, 5), MH(50, 5), Baseline} // Figs 2, 3, 7a, 7d, 8a, 8d
+	variants4  = []Variant{MH(1, 1), MH(20, 5), Baseline}             // Figs 4, 7e, 8e
+	variants5  = []Variant{MH(20, 5), MH(50, 5), Baseline}            // Figs 5, 7b, 7c, 8b, 8c
+	variants6  = []Variant{MH(20, 5), Baseline}                       // Fig 6 scaling
+	variants9  = []Variant{MH(1, 1), Baseline}                        // Fig 9
+	variants10 = []Variant{MH(1, 1), MH(20, 5), MH(50, 5), Baseline}  // Fig 10
+)

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"lshcluster/internal/core"
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/metrics"
+	"lshcluster/internal/runstats"
+	"lshcluster/internal/yahoogen"
+)
+
+// Config parameterises a Suite.
+type Config struct {
+	// Scale multiplies paper workload sizes (items, clusters, topics).
+	// Zero defaults to 0.05; 1.0 is paper scale.
+	Scale float64
+	// Seed drives dataset generation, centroid selection and hashing.
+	Seed int64
+	// MaxIterations caps iteration counts for the synthetic experiments
+	// (Figure 10 independently applies the paper's cap of 10).
+	// Zero defaults to 30.
+	MaxIterations int
+	// Out receives the printed tables and series. Nil defaults to
+	// os.Stdout.
+	Out io.Writer
+	// CSVDir, when non-empty, additionally writes each figure's raw
+	// per-iteration series as CSV files into this directory.
+	CSVDir string
+	// Quiet suppresses progress logging.
+	Quiet bool
+	// Domain overrides the categorical domain size (paper: 40 000).
+	Domain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 30
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.Domain <= 0 {
+		c.Domain = 40000
+	}
+	return c
+}
+
+// Comparison holds the outcome of running several variants on one
+// workload from identical initial centroids.
+type Comparison struct {
+	Workload string
+	Spec     SynthSpec // zero value for text workloads
+	Runs     []*runstats.Run
+}
+
+// Run returns the named run, or nil.
+func (c *Comparison) Run(name string) *runstats.Run {
+	for _, r := range c.Runs {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// BaselineRun returns the exact K-Modes run, or nil.
+func (c *Comparison) BaselineRun() *runstats.Run { return c.Run(Baseline.Name) }
+
+// Suite runs experiments with memoisation, so composite figures (6, 7, 8)
+// reuse the comparisons computed for earlier figures within one process.
+type Suite struct {
+	cfg   Config
+	cache map[string]*Comparison
+}
+
+// NewSuite creates a suite for cfg.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg.withDefaults(), cache: make(map[string]*Comparison)}
+}
+
+// Config returns the defaulted configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+func (s *Suite) logf(format string, args ...any) {
+	if !s.cfg.Quiet {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}
+
+// synthComparison generates (or reuses) the scaled synthetic dataset for
+// spec and runs every variant on it.
+func (s *Suite) synthComparison(spec SynthSpec, variants []Variant, maxIter int) (*Comparison, error) {
+	scaled := spec.Scaled(s.cfg.Scale)
+	key := fmt.Sprintf("synth:%s:%d:%d:%d:%v:%d", spec.Name, scaled.Items,
+		scaled.Attrs, scaled.Clusters, variantKey(variants), maxIter)
+	if c, ok := s.cache[key]; ok {
+		return c, nil
+	}
+	s.logf("experiments: generating %v (scale %.3g)", scaled, s.cfg.Scale)
+	ds, err := datagen.Generate(datagen.Config{
+		Items:    scaled.Items,
+		Clusters: scaled.Clusters,
+		Attrs:    scaled.Attrs,
+		Domain:   s.cfg.Domain,
+		Seed:     s.cfg.Seed + int64(spec.Name[0]),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dataset %s: %w", spec.Name, err)
+	}
+	c, err := s.compare(fmt.Sprintf("synth-%s", spec.Name), ds, scaled.Clusters, variants, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	c.Spec = scaled
+	s.cache[key] = c
+	return c, nil
+}
+
+// yahooComparison generates (or reuses) the Yahoo!-style corpus at the
+// given TF-IDF threshold and runs every variant on it.
+func (s *Suite) yahooComparison(threshold float64, variants []Variant, maxIter int) (*Comparison, error) {
+	key := fmt.Sprintf("yahoo:%v:%v:%d", threshold, variantKey(variants), maxIter)
+	if c, ok := s.cache[key]; ok {
+		return c, nil
+	}
+	topics := clampMin(int(2916*s.cfg.Scale), 12)
+	perTopic := 100 // the paper extracts up to 100 questions per topic
+	s.logf("experiments: generating yahoo-like corpus (topics=%d, threshold=%.1f)", topics, threshold)
+	corpus, err := yahoogen.Generate(yahoogen.Config{
+		Topics:            topics,
+		QuestionsPerTopic: perTopic,
+		MislabelProb:      0.25, // the paper observes noisy user-chosen topics
+		Seed:              s.cfg.Seed + 1000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: corpus: %w", err)
+	}
+	ds, vocab, err := corpus.BuildDataset(yahoogen.PipelineConfig{
+		Threshold:        threshold,
+		MaxWordsPerTopic: 10000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pipeline: %w", err)
+	}
+	s.logf("experiments: corpus dataset n=%d m=%d k=%d (vocab %d words)",
+		ds.NumItems(), ds.NumAttrs(), topics, vocab.Size())
+	c, err := s.compare(fmt.Sprintf("yahoo-%.1f", threshold), ds, topics, variants, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = c
+	return c, nil
+}
+
+func variantKey(variants []Variant) string {
+	key := ""
+	for _, v := range variants {
+		key += v.Name + ";"
+	}
+	return key
+}
+
+// compare runs every variant on ds from identical initial centroids
+// (paper §IV-A: "the same initial centroid points were selected") and
+// fills purity from the ground truth.
+func (s *Suite) compare(workload string, ds *dataset.Dataset, k int, variants []Variant, maxIter int) (*Comparison, error) {
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 7))
+	seeds := make([]int32, 0, k)
+	seen := make(map[int32]bool, k)
+	for len(seeds) < k {
+		item := int32(rng.Intn(ds.NumItems()))
+		if !seen[item] {
+			seen[item] = true
+			seeds = append(seeds, item)
+		}
+	}
+	cmp := &Comparison{Workload: workload}
+	for _, v := range variants {
+		space, err := kmodes.NewSpaceFromSeeds(ds, seeds, kmodes.Config{Seed: s.cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s space: %w", workload, err)
+		}
+		opts := core.Options{MaxIterations: maxIter}
+		if v.Params != nil {
+			accel, err := core.NewMinHashAccelerator(ds, *v.Params, uint64(s.cfg.Seed)+99)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s %s: %w", workload, v.Name, err)
+			}
+			opts.Accelerator = accel
+		}
+		s.logf("experiments: %s: running %s", workload, v.Name)
+		res, err := core.Run(space, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %s: %w", workload, v.Name, err)
+		}
+		run := res.Stats
+		run.Name = v.Name
+		if ds.Labeled() {
+			p, err := metrics.Purity(res.Assign, ds.Labels())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s %s purity: %w", workload, v.Name, err)
+			}
+			run.Purity = p
+		}
+		cmp.Runs = append(cmp.Runs, &run)
+	}
+	return cmp, nil
+}
+
+// dumpCSV writes the comparison's per-iteration series to
+// CSVDir/<name>.csv when CSVDir is configured.
+func (s *Suite) dumpCSV(name string, cmps ...*Comparison) error {
+	if s.cfg.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.CSVDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating CSV dir: %w", err)
+	}
+	var runs []*runstats.Run
+	for _, c := range cmps {
+		runs = append(runs, c.Runs...)
+	}
+	path := filepath.Join(s.cfg.CSVDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := runstats.WriteCSV(f, runs); err != nil {
+		return err
+	}
+	return f.Close()
+}

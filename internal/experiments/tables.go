@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"lshcluster/internal/lsh"
+)
+
+// Table1 prints the paper's Table I: candidate-pair and cluster-hit
+// probabilities at row value 1 across bands and Jaccard similarities
+// (assuming 10 similar items in the cluster).
+func (s *Suite) Table1() error {
+	header(s.cfg.Out, "Table I — candidate probabilities, 1 row per band")
+	printProbTable(s.cfg.Out, lsh.TableI())
+	fmt.Fprintln(s.cfg.Out, "\nNote: the published Table I cells (b=100, s=0.001) and (b=100, s=0.01)")
+	fmt.Fprintln(s.cfg.Out, "are inconsistent with the paper's own formula 1-(1-s^r)^b; this table")
+	fmt.Fprintln(s.cfg.Out, "reports the formula values (see EXPERIMENTS.md).")
+	return nil
+}
+
+// Table2 prints the paper's Table II: the same grid at row value 5.
+func (s *Suite) Table2() error {
+	header(s.cfg.Out, "Table II — candidate probabilities, 5 rows per band")
+	printProbTable(s.cfg.Out, lsh.TableII())
+	return nil
+}
+
+func printProbTable(w io.Writer, rows []lsh.TableRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bands\tJaccard-similarity\tProbability\tMH-K-Modes Probability")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%g\t%.4f\t%.4f\n", r.Bands, r.Jaccard, r.PairProb, r.ClusterProb)
+	}
+	tw.Flush()
+}

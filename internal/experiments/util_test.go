@@ -1,0 +1,8 @@
+package experiments
+
+import "os"
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

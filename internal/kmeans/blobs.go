@@ -1,0 +1,55 @@
+package kmeans
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BlobsConfig describes a Gaussian-blob workload for the numeric
+// extension's tests, examples and benches.
+type BlobsConfig struct {
+	// Points is the total number of points.
+	Points int
+	// Clusters is the number of blobs (and ground-truth classes).
+	Clusters int
+	// Dim is the dimensionality.
+	Dim int
+	// CenterBox is the half-width of the uniform cube blob centres are
+	// drawn from. Zero defaults to 10.
+	CenterBox float64
+	// Spread is the per-coordinate standard deviation within a blob.
+	// Zero defaults to 0.5.
+	Spread float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateBlobs returns row-major points and ground-truth labels
+// (point i belongs to blob i mod Clusters, so every blob is non-empty and
+// balanced).
+func GenerateBlobs(cfg BlobsConfig) (points []float64, labels []int32, err error) {
+	if cfg.Points < 1 || cfg.Clusters < 1 || cfg.Clusters > cfg.Points || cfg.Dim < 1 {
+		return nil, nil, fmt.Errorf("kmeans: invalid blob config %+v", cfg)
+	}
+	if cfg.CenterBox == 0 {
+		cfg.CenterBox = 10
+	}
+	if cfg.Spread == 0 {
+		cfg.Spread = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([]float64, cfg.Clusters*cfg.Dim)
+	for i := range centers {
+		centers[i] = (rng.Float64()*2 - 1) * cfg.CenterBox
+	}
+	points = make([]float64, cfg.Points*cfg.Dim)
+	labels = make([]int32, cfg.Points)
+	for i := 0; i < cfg.Points; i++ {
+		c := i % cfg.Clusters
+		labels[i] = int32(c)
+		for j := 0; j < cfg.Dim; j++ {
+			points[i*cfg.Dim+j] = centers[c*cfg.Dim+j] + rng.NormFloat64()*cfg.Spread
+		}
+	}
+	return points, labels, nil
+}

@@ -1,0 +1,74 @@
+package kmodes
+
+import (
+	"testing"
+
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+)
+
+func benchSpace(b *testing.B, n, k, m int) (*Space, *dataset.Dataset) {
+	b.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Items: n, Clusters: k, Attrs: m, Domain: 40000, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSpace(ds, Config{K: k, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ds
+}
+
+func BenchmarkDissimilarity100Attrs(b *testing.B) {
+	s, _ := benchSpace(b, 500, 50, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Dissimilarity(i%500, i%50)
+	}
+}
+
+func BenchmarkBoundedDissimilarity100Attrs(b *testing.B) {
+	s, _ := benchSpace(b, 500, 50, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.BoundedDissimilarity(i%500, i%50, 10)
+	}
+}
+
+func BenchmarkRecomputeCentroids(b *testing.B) {
+	s, ds := benchSpace(b, 2000, 200, 50)
+	assign := make([]int32, ds.NumItems())
+	for i := range assign {
+		assign[i] = int32(i % 200)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RecomputeCentroids(assign)
+	}
+}
+
+func BenchmarkFreqTableMove(b *testing.B) {
+	ds, err := datagen.Generate(datagen.Config{
+		Items: 1000, Clusters: 100, Attrs: 50, Domain: 40000, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft := NewFreqTable(100, 50)
+	for i := 0; i < 1000; i++ {
+		ft.Add(i%100, ds.Row(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		item := i % 1000
+		from := item % 100
+		to := (item + 1) % 100
+		ft.Move(from, to, ds.Row(item))
+		ft.Move(to, from, ds.Row(item))
+	}
+}

@@ -1,0 +1,129 @@
+package kmodes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lshcluster/internal/dataset"
+)
+
+// This file implements the initialisation methods the paper references
+// alongside random selection (§III-A1, §IV-A: "K-Modes has a number of
+// potential initialisation methods for choosing the initial cluster
+// centroids [3] [22]"): Huang's frequency-based method [3] and the
+// density-distance method of Cao, Liang & Bai [22]. Each returns seed
+// *item indices*, ready for NewSpaceFromSeeds, so experiments can hold
+// initial centroids fixed across algorithm variants.
+
+// InitRandom returns k distinct random item indices (the paper's default
+// choice, also what NewSpace uses internally).
+func InitRandom(ds *dataset.Dataset, k int, seed int64) ([]int32, error) {
+	if k < 1 || k > ds.NumItems() {
+		return nil, fmt.Errorf("kmodes: k=%d out of range [1,%d]", k, ds.NumItems())
+	}
+	return sampleDistinct(rand.New(rand.NewSource(seed)), ds.NumItems(), k), nil
+}
+
+// InitHuang implements Huang's frequency-based initialisation [3]:
+// synthetic modes are formed by sampling attribute values proportionally
+// to their global frequencies, then each synthetic mode is replaced by
+// the most similar *item* (so modes are actual data points, avoiding
+// empty initial clusters), skipping items already chosen.
+func InitHuang(ds *dataset.Dataset, k int, seed int64) ([]int32, error) {
+	n, m := ds.NumItems(), ds.NumAttrs()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmodes: k=%d out of range [1,%d]", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Per-attribute value pools: sampling a uniform random *position*
+	// over the items' values at attribute a is exactly
+	// frequency-proportional sampling of the value.
+	synthetic := make([]dataset.Value, m)
+	chosen := make([]int32, 0, k)
+	used := make(map[int32]bool, k)
+	for len(chosen) < k {
+		for a := 0; a < m; a++ {
+			synthetic[a] = ds.Row(rng.Intn(n))[a]
+		}
+		best := int32(-1)
+		bestD := m + 1
+		for i := 0; i < n; i++ {
+			if used[int32(i)] {
+				continue
+			}
+			d := dataset.MismatchesBounded(ds.Row(i), synthetic, bestD)
+			if d < bestD {
+				best, bestD = int32(i), d
+			}
+		}
+		// best is always found: used has fewer than k ≤ n entries.
+		used[best] = true
+		chosen = append(chosen, best)
+	}
+	return chosen, nil
+}
+
+// InitCao implements the deterministic density–distance initialisation
+// of Cao, Liang & Bai (2009) [22]: the first seed is the item of highest
+// average similarity to the whole dataset (density); each further seed
+// maximises min over chosen seeds of d(candidate, seed) · density(candidate),
+// spreading seeds across dense regions. The method is O(n²·m) — intended
+// for moderate n or for sampled subsets.
+func InitCao(ds *dataset.Dataset, k int) ([]int32, error) {
+	n, m := ds.NumItems(), ds.NumAttrs()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmodes: k=%d out of range [1,%d]", k, n)
+	}
+	// density(i) = (1/n) Σ_j (1 − d(i,j)/m)
+	density := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		ri := ds.Row(i)
+		for j := 0; j < n; j++ {
+			sum += 1 - float64(dataset.Mismatches(ri, ds.Row(j)))/float64(m)
+		}
+		density[i] = sum / float64(n)
+	}
+	chosen := make([]int32, 0, k)
+	used := make([]bool, n)
+	// First seed: maximum density (ties to the lowest index).
+	first := 0
+	for i := 1; i < n; i++ {
+		if density[i] > density[first] {
+			first = i
+		}
+	}
+	chosen = append(chosen, int32(first))
+	used[first] = true
+	// minDist[i] tracks min over chosen seeds of d(i, seed)/m.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = float64(dataset.Mismatches(ds.Row(i), ds.Row(first))) / float64(m)
+	}
+	for len(chosen) < k {
+		best := -1
+		bestScore := -1.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := minDist[i] * density[i]
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		chosen = append(chosen, int32(best))
+		used[best] = true
+		rb := ds.Row(best)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			d := float64(dataset.Mismatches(ds.Row(i), rb)) / float64(m)
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen, nil
+}

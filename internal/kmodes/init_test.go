@@ -1,0 +1,128 @@
+package kmodes
+
+import (
+	"testing"
+
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+)
+
+func initWorkload(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Items: 120, Clusters: 6, Attrs: 12, Domain: 100,
+		MinRuleFrac: 0.7, MaxRuleFrac: 0.9, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func assertValidSeeds(t *testing.T, seeds []int32, n, k int) {
+	t.Helper()
+	if len(seeds) != k {
+		t.Fatalf("%d seeds, want %d", len(seeds), k)
+	}
+	seen := map[int32]bool{}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			t.Fatalf("seed %d out of range", s)
+		}
+		if seen[s] {
+			t.Fatalf("seed %d repeated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestInitRandom(t *testing.T) {
+	ds := initWorkload(t)
+	seeds, err := InitRandom(ds, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidSeeds(t, seeds, ds.NumItems(), 6)
+	again, err := InitRandom(ds, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("InitRandom not deterministic per seed")
+		}
+	}
+	if _, err := InitRandom(ds, 0, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestInitHuang(t *testing.T) {
+	ds := initWorkload(t)
+	seeds, err := InitHuang(ds, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidSeeds(t, seeds, ds.NumItems(), 6)
+	if _, err := InitHuang(ds, 1000, 5); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestInitCao(t *testing.T) {
+	ds := initWorkload(t)
+	seeds, err := InitCao(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidSeeds(t, seeds, ds.NumItems(), 6)
+	// Deterministic: no randomness at all.
+	again, err := InitCao(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("InitCao not deterministic")
+		}
+	}
+	if _, err := InitCao(ds, 0); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// TestInitCaoSpreadsAcrossClusters: on separable data the density–
+// distance method should pick seeds from many distinct ground-truth
+// clusters (random picks collide noticeably more often across seeds).
+func TestInitCaoSpreadsAcrossClusters(t *testing.T) {
+	ds := initWorkload(t)
+	seeds, err := InitCao(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[int]bool{}
+	for _, s := range seeds {
+		classes[ds.Label(int(s))] = true
+	}
+	if len(classes) < 5 {
+		t.Fatalf("Cao seeds cover only %d of 6 ground-truth clusters", len(classes))
+	}
+}
+
+func TestInitsImproveOrMatchRandomPurity(t *testing.T) {
+	// Not a strict guarantee, but on this deterministic workload both
+	// informed inits should produce sane spaces end to end.
+	ds := initWorkload(t)
+	for name, f := range map[string]func() ([]int32, error){
+		"huang": func() ([]int32, error) { return InitHuang(ds, 6, 2) },
+		"cao":   func() ([]int32, error) { return InitCao(ds, 6) },
+	} {
+		seeds, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := NewSpaceFromSeeds(ds, seeds, Config{}); err != nil {
+			t.Fatalf("%s seeds rejected: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package kmodes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lshcluster/internal/dataset"
+)
+
+// toyDataset: 6 items, 3 attributes, two obvious groups.
+func toyDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder([]string{"x", "y", "z"})
+	rows := [][]string{
+		{"a", "a", "a"},
+		{"a", "a", "b"},
+		{"a", "a", "a"},
+		{"q", "r", "s"},
+		{"q", "r", "t"},
+		{"q", "r", "s"},
+	}
+	for _, r := range rows {
+		if err := b.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	ds := toyDataset(t)
+	if _, err := NewSpace(ds, Config{K: 0}); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := NewSpace(ds, Config{K: 7}); err == nil {
+		t.Fatal("expected error for k>n")
+	}
+	if _, err := NewSpaceFromSeeds(ds, nil, Config{}); err == nil {
+		t.Fatal("expected error for no seeds")
+	}
+	if _, err := NewSpaceFromSeeds(ds, []int32{99}, Config{}); err == nil {
+		t.Fatal("expected error for out-of-range seed")
+	}
+	if _, err := NewSpaceFromSeeds(ds, []int32{0, 1}, Config{K: 3}); err == nil {
+		t.Fatal("expected error for K/seed mismatch")
+	}
+}
+
+func TestSeedsDistinctAndModesCopied(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpace(ds, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for c, item := range s.Seeds() {
+		if seen[item] {
+			t.Fatalf("seed item %d repeated", item)
+		}
+		seen[item] = true
+		mode := s.Mode(c)
+		row := ds.Row(int(item))
+		for a := range row {
+			if mode[a] != row[a] {
+				t.Fatalf("mode %d not copied from seed item %d", c, item)
+			}
+		}
+	}
+}
+
+func TestDissimilarity(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 1 = {a,a,b} vs mode 0 = row 0 = {a,a,a}: distance 1.
+	if d := s.Dissimilarity(1, 0); d != 1 {
+		t.Fatalf("d(1, mode0) = %v, want 1", d)
+	}
+	// Item 1 vs mode 1 = row 3 = {q,r,s}: distance 3.
+	if d := s.Dissimilarity(1, 1); d != 3 {
+		t.Fatalf("d(1, mode1) = %v, want 3", d)
+	}
+}
+
+func TestBoundedDissimilarity(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.BoundedDissimilarity(1, 1, 2); d < 2 {
+		t.Fatalf("bounded distance %v below bound", d)
+	}
+	if d := s.BoundedDissimilarity(1, 1, 10); d != 3 {
+		t.Fatalf("unconstrained bounded distance = %v, want 3", d)
+	}
+	// Fractional bound must behave like its ceiling.
+	if d := s.BoundedDissimilarity(1, 1, 2.5); d < 2.5 {
+		t.Fatalf("fractional bound returned %v", d)
+	}
+}
+
+func TestRecomputeCentroidsMajority(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int32{0, 0, 0, 1, 1, 1}
+	s.RecomputeCentroids(assign)
+	// Cluster 0 members: rows 0–2 → mode {a,a,a} (a:2 beats b:1 on z).
+	want0 := ds.Row(0)
+	for a, v := range s.Mode(0) {
+		if v != want0[a] {
+			t.Fatalf("mode 0 attr %d = %v, want %v", a, v, want0[a])
+		}
+	}
+	// Cluster 1 members: rows 3–5 → mode {q,r,s}.
+	want1 := ds.Row(3)
+	for a, v := range s.Mode(1) {
+		if v != want1[a] {
+			t.Fatalf("mode 1 attr %d = %v, want %v", a, v, want1[a])
+		}
+	}
+}
+
+// TestModeMinimisesObjective verifies the frequency-argmax mode minimises
+// D(X,Q) = Σ_i d(X_i, Q) (paper Eq. 3) by comparing against every member
+// row and random probes.
+func TestModeMinimisesObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, m = 40, 6
+	vals := make([]dataset.Value, n*m)
+	for i := range vals {
+		// Small per-attribute domains make ties and skew likely.
+		attr := i % m
+		vals[i] = dataset.Value(attr*10 + rng.Intn(3) + 1)
+	}
+	ds, err := dataset.New(datasetAttrs(m), vals, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpaceFromSeeds(ds, []int32{0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int32, n)
+	s.RecomputeCentroids(assign)
+	mode := s.Mode(0)
+
+	objective := func(q []dataset.Value) int {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += dataset.Mismatches(ds.Row(i), q)
+		}
+		return total
+	}
+	base := objective(mode)
+	for i := 0; i < n; i++ {
+		if objective(ds.Row(i)) < base {
+			t.Fatalf("member row %d beats the computed mode", i)
+		}
+	}
+	probe := make([]dataset.Value, m)
+	for trial := 0; trial < 200; trial++ {
+		for a := range probe {
+			probe[a] = dataset.Value(a*10 + rng.Intn(3) + 1)
+		}
+		if objective(probe) < base {
+			t.Fatalf("random probe %v beats the computed mode %v", probe, mode)
+		}
+	}
+}
+
+func datasetAttrs(m int) []string {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = "a"
+	}
+	return names
+}
+
+func TestModeTieBreaksToSmallestID(t *testing.T) {
+	// Two values with equal frequency: the smaller ID must win,
+	// deterministically.
+	vals := []dataset.Value{1, 2, 1, 2} // 4 items × 1 attr? No: 2 items × 2 attrs.
+	ds, err := dataset.New([]string{"p", "q"}, vals, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpaceFromSeeds(ds, []int32{0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecomputeCentroids([]int32{0, 0})
+	if s.Mode(0)[0] != 1 || s.Mode(0)[1] != 2 {
+		t.Fatalf("tie-break produced mode %v, want [1 2]", s.Mode(0))
+	}
+}
+
+func TestEmptyClusterKeepMode(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]dataset.Value(nil), s.Mode(1)...)
+	s.RecomputeCentroids([]int32{0, 0, 0, 0, 0, 0}) // cluster 1 empty
+	for a, v := range s.Mode(1) {
+		if v != before[a] {
+			t.Fatal("KeepMode policy must retain the previous mode")
+		}
+	}
+}
+
+func TestEmptyClusterReseed(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3},
+		Config{EmptyCluster: ReseedRandomItem, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecomputeCentroids([]int32{0, 0, 0, 0, 0, 0})
+	mode := s.Mode(1)
+	found := false
+	for i := 0; i < ds.NumItems(); i++ {
+		if dataset.Mismatches(mode, ds.Row(i)) == 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("reseeded mode is not a copy of any item")
+	}
+}
+
+func TestCost(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int32{0, 0, 0, 1, 1, 1}
+	// Distances to mode 0={a,a,a}: 0,1,0; to mode 1={q,r,s}: 0,1,0 → 2.
+	if c := s.Cost(assign); c != 2 {
+		t.Fatalf("cost = %v, want 2", c)
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.ClusterSizes([]int32{0, 1, 0, 1, 1, 1})
+	if sizes[0] != 2 || sizes[1] != 4 {
+		t.Fatalf("sizes = %v, want [2 4]", sizes)
+	}
+}
+
+func TestAssignmentLengthPanics(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on assignment length mismatch")
+		}
+	}()
+	s.RecomputeCentroids([]int32{0})
+}
+
+func TestModelPredict(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Model()
+	c, d := m.Predict(ds.Row(1))
+	if c != 0 || d != 1 {
+		t.Fatalf("Predict(row1) = (%d,%d), want (0,1)", c, d)
+	}
+	c, d = m.Predict(ds.Row(4))
+	if c != 1 || d != 1 {
+		t.Fatalf("Predict(row4) = (%d,%d), want (1,1)", c, d)
+	}
+}
+
+func TestModelPredictArityPanics(t *testing.T) {
+	ds := toyDataset(t)
+	s, _ := NewSpaceFromSeeds(ds, []int32{0}, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	s.Model().Predict([]dataset.Value{1})
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Model()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != m.K || back.M != m.M {
+		t.Fatalf("round trip shape (%d,%d)", back.K, back.M)
+	}
+	for i := range m.Modes {
+		if back.Modes[i] != m.Modes[i] {
+			t.Fatalf("mode value %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestModelIsSnapshot(t *testing.T) {
+	ds := toyDataset(t)
+	s, err := NewSpaceFromSeeds(ds, []int32{0, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Model()
+	orig := m.Mode(0)[0]
+	s.RecomputeCentroids([]int32{1, 1, 1, 1, 1, 1})
+	if m.Mode(0)[0] != orig {
+		t.Fatal("model aliases live space state")
+	}
+}
+
+func TestSampleDistinctCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := sampleDistinct(rng, 10, 10)
+	seen := map[int32]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("sampleDistinct produced %v", got)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,200 @@
+package lsh
+
+import (
+	"fmt"
+
+	"lshcluster/internal/hashfamily"
+	"lshcluster/internal/minhash"
+)
+
+// Index is the MinHash banding index of paper Algorithm 2. Items are
+// inserted once (the single pass over the dataset after centroid
+// initialisation); each band of an item's signature is hashed to a bucket
+// key, and the item ID is appended to that band's bucket.
+//
+// Band keys for every inserted item are also retained, so the recurring
+// per-iteration query "which items collide with item i" is a pure lookup
+// that never re-hashes the item. The paper's per-item *cluster reference*
+// lives outside the index, in the caller's assignment slice: because
+// buckets store item IDs and the caller maps IDs to clusters at query
+// time, "updating the reference" after a move is a single slice store —
+// exactly the O(1) pointer update described in §III-B.
+//
+// An Index is not safe for concurrent mutation. Concurrent queries are
+// safe once all insertions are done.
+type Index struct {
+	params Params
+	scheme *minhash.Scheme
+	// buckets[band] maps a band key to the IDs of the items whose
+	// signature hashed to it. Separate maps per band implement the
+	// paper's requirement that "there will be b sets of buckets to map
+	// to, one set for each band so no overlapping between bands can
+	// occur"; keys are additionally salted with the band number.
+	buckets []map[uint64][]int32
+	// keys[item·bands+band] is the stored band key of an inserted item.
+	keys     []uint64
+	inserted []bool
+	setBuf   []uint64
+	sigBuf   []uint64
+}
+
+// NewIndex creates an index for the given banding parameters, seeded
+// deterministically; numItems is the capacity hint for stored band keys
+// (items with larger IDs may still be inserted).
+func NewIndex(p Params, seed uint64, numItems int) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buckets := make([]map[uint64][]int32, p.Bands)
+	for b := range buckets {
+		buckets[b] = make(map[uint64][]int32)
+	}
+	if numItems < 0 {
+		numItems = 0
+	}
+	return &Index{
+		params:   p,
+		scheme:   minhash.NewScheme(p.SignatureLen(), seed),
+		buckets:  buckets,
+		keys:     make([]uint64, numItems*p.Bands),
+		inserted: make([]bool, numItems),
+		sigBuf:   make([]uint64, p.SignatureLen()),
+	}, nil
+}
+
+// Params returns the banding configuration.
+func (ix *Index) Params() Params { return ix.params }
+
+// Scheme exposes the underlying MinHash scheme (e.g. for similarity
+// estimation diagnostics).
+func (ix *Index) Scheme() *minhash.Scheme { return ix.scheme }
+
+// NumInserted returns how many items have been inserted.
+func (ix *Index) NumInserted() int {
+	n := 0
+	for _, in := range ix.inserted {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// bandKey hashes rows [band·r, (band+1)·r) of sig into a salted 64-bit
+// bucket key.
+func (ix *Index) bandKey(sig []uint64, band int) uint64 {
+	r := ix.params.Rows
+	key := uint64(band)*0x9e3779b97f4a7c15 + 0x85ebca6b9d1c5e27
+	for _, v := range sig[band*r : (band+1)*r] {
+		key = hashfamily.Mix64(key ^ v)
+	}
+	return key
+}
+
+// Insert MinHashes the given present-value set and files item under every
+// band bucket (Algorithm 2 lines 5–9 applied at index-construction time).
+// Inserting the same item twice is an error.
+func (ix *Index) Insert(item int32, presentValues []uint64) error {
+	return ix.InsertSignature(item, ix.scheme.Sign(presentValues, ix.sigBuf))
+}
+
+// InsertSignature files item under the band buckets of a precomputed
+// signature of length SignatureLen. It allows other LSH families — e.g.
+// the random-hyperplane (SimHash) signatures of the numeric extension —
+// to reuse the banding index.
+func (ix *Index) InsertSignature(item int32, sig []uint64) error {
+	if item < 0 {
+		return fmt.Errorf("lsh: negative item ID %d", item)
+	}
+	if len(sig) != ix.params.SignatureLen() {
+		return fmt.Errorf("lsh: signature length %d, want %d", len(sig), ix.params.SignatureLen())
+	}
+	ix.grow(int(item) + 1)
+	if ix.inserted[item] {
+		return fmt.Errorf("lsh: item %d already inserted", item)
+	}
+	base := int(item) * ix.params.Bands
+	for b := 0; b < ix.params.Bands; b++ {
+		key := ix.bandKey(sig, b)
+		ix.keys[base+b] = key
+		ix.buckets[b][key] = append(ix.buckets[b][key], item)
+	}
+	ix.inserted[item] = true
+	return nil
+}
+
+func (ix *Index) grow(n int) {
+	if n <= len(ix.inserted) {
+		return
+	}
+	for len(ix.inserted) < n {
+		ix.inserted = append(ix.inserted, false)
+		for i := 0; i < ix.params.Bands; i++ {
+			ix.keys = append(ix.keys, 0)
+		}
+	}
+}
+
+// Candidates invokes fn for every item sharing at least one band bucket
+// with the previously inserted item. The item itself is reported (it
+// trivially collides with itself in every band), and an item sharing
+// several bands is reported once per shared band — callers dedupe, which
+// the shortlist construction does anyway while mapping items to clusters.
+func (ix *Index) Candidates(item int32, fn func(other int32)) {
+	if int(item) >= len(ix.inserted) || !ix.inserted[item] {
+		return
+	}
+	base := int(item) * ix.params.Bands
+	for b := 0; b < ix.params.Bands; b++ {
+		for _, other := range ix.buckets[b][ix.keys[base+b]] {
+			fn(other)
+		}
+	}
+}
+
+// CandidatesOfSet MinHashes an arbitrary (possibly un-inserted) value set
+// and reports colliding items, with the same duplication semantics as
+// Candidates. It is used for out-of-index queries such as assigning new
+// items in a streaming setting.
+func (ix *Index) CandidatesOfSet(presentValues []uint64, fn func(other int32)) {
+	sig := ix.scheme.Sign(presentValues, ix.sigBuf)
+	for b := 0; b < ix.params.Bands; b++ {
+		for _, other := range ix.buckets[b][ix.bandKey(sig, b)] {
+			fn(other)
+		}
+	}
+}
+
+// Stats summarises bucket occupancy for diagnostics.
+type Stats struct {
+	Bands          int
+	Buckets        int     // non-empty buckets across all bands
+	Items          int     // inserted items
+	MaxBucketLen   int     // largest bucket
+	MeanBucketLen  float64 // mean items per non-empty bucket
+	SingletonShare float64 // fraction of buckets holding exactly one item
+}
+
+// Stats scans the index and returns occupancy statistics.
+func (ix *Index) Stats() Stats {
+	st := Stats{Bands: ix.params.Bands, Items: ix.NumInserted()}
+	singles := 0
+	total := 0
+	for _, band := range ix.buckets {
+		for _, items := range band {
+			st.Buckets++
+			total += len(items)
+			if len(items) > st.MaxBucketLen {
+				st.MaxBucketLen = len(items)
+			}
+			if len(items) == 1 {
+				singles++
+			}
+		}
+	}
+	if st.Buckets > 0 {
+		st.MeanBucketLen = float64(total) / float64(st.Buckets)
+		st.SingletonShare = float64(singles) / float64(st.Buckets)
+	}
+	return st
+}

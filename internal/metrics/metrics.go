@@ -1,0 +1,100 @@
+// Package metrics implements external clustering-quality measures. The
+// paper evaluates quality with cluster purity (§IV-A5, Figures 8–9);
+// normalised mutual information is provided as an additional check.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// contingency builds the cluster×class co-occurrence counts.
+// assign maps items to clusters; labels to ground-truth classes.
+func contingency(assign []int32, labels []int32) (map[[2]int32]int, map[int32]int, map[int32]int, error) {
+	if len(assign) != len(labels) {
+		return nil, nil, nil, fmt.Errorf("metrics: %d assignments vs %d labels", len(assign), len(labels))
+	}
+	if len(assign) == 0 {
+		return nil, nil, nil, fmt.Errorf("metrics: empty clustering")
+	}
+	joint := make(map[[2]int32]int)
+	byCluster := make(map[int32]int)
+	byClass := make(map[int32]int)
+	for i, c := range assign {
+		l := labels[i]
+		joint[[2]int32{c, l}]++
+		byCluster[c]++
+		byClass[l]++
+	}
+	return joint, byCluster, byClass, nil
+}
+
+// Purity returns the cluster purity of the assignment against ground
+// truth: each cluster votes for its majority class, and purity is the
+// fraction of items covered by those majorities,
+//
+//	purity = (1/n) · Σ_c max_l |cluster_c ∩ class_l|.
+//
+// It lies in (0, 1]; 1 means every cluster is class-pure. Note that
+// purity is maximised by degenerate clusterings with many clusters — the
+// paper uses it with k fixed to the ground-truth cluster count.
+func Purity(assign, labels []int32) (float64, error) {
+	joint, byCluster, _, err := contingency(assign, labels)
+	if err != nil {
+		return 0, err
+	}
+	best := make(map[int32]int, len(byCluster))
+	for key, n := range joint {
+		if n > best[key[0]] {
+			best[key[0]] = n
+		}
+	}
+	total := 0
+	for _, n := range best {
+		total += n
+	}
+	return float64(total) / float64(len(assign)), nil
+}
+
+// NMI returns the normalised mutual information between the assignment
+// and the ground truth, using arithmetic-mean normalisation:
+// NMI = 2·I(C;L) / (H(C)+H(L)). It lies in [0,1]; degenerate cases where
+// both partitions are single-cluster return 1, and 0 when only one side
+// is degenerate.
+func NMI(assign, labels []int32) (float64, error) {
+	joint, byCluster, byClass, err := contingency(assign, labels)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(len(assign))
+	hc := entropy(byCluster, n)
+	hl := entropy(byClass, n)
+	if hc == 0 && hl == 0 {
+		return 1, nil
+	}
+	if hc == 0 || hl == 0 {
+		return 0, nil
+	}
+	var mi float64
+	for key, cnt := range joint {
+		pxy := float64(cnt) / n
+		px := float64(byCluster[key[0]]) / n
+		py := float64(byClass[key[1]]) / n
+		mi += pxy * math.Log2(pxy/(px*py))
+	}
+	nmi := 2 * mi / (hc + hl)
+	// Clamp tiny negative float error.
+	if nmi < 0 && nmi > -1e-12 {
+		nmi = 0
+	}
+	return nmi, nil
+}
+
+func entropy(counts map[int32]int, n float64) float64 {
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPurityPerfect(t *testing.T) {
+	assign := []int32{0, 0, 1, 1, 2, 2}
+	labels := []int32{5, 5, 9, 9, 7, 7}
+	p, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("purity = %v, want 1", p)
+	}
+}
+
+func TestPurityKnownValue(t *testing.T) {
+	// Cluster 0: {a,a,b} majority 2; cluster 1: {b,b,a} majority 2
+	// → purity = 4/6.
+	assign := []int32{0, 0, 0, 1, 1, 1}
+	labels := []int32{0, 0, 1, 1, 1, 0}
+	p, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-4.0/6.0) > 1e-12 {
+		t.Fatalf("purity = %v, want 2/3", p)
+	}
+}
+
+func TestPuritySingleCluster(t *testing.T) {
+	assign := []int32{0, 0, 0, 0}
+	labels := []int32{0, 1, 2, 3}
+	p, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.25 {
+		t.Fatalf("purity = %v, want 0.25", p)
+	}
+}
+
+func TestPurityBounds(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		assign := make([]int32, len(raw))
+		labels := make([]int32, len(raw))
+		for i, v := range raw {
+			assign[i] = int32(v % 5)
+			labels[i] = int32((v / 5) % 7)
+		}
+		p, err := Purity(assign, labels)
+		if err != nil {
+			return false
+		}
+		return p > 0 && p <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Purity([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Fatal("expected empty-clustering error")
+	}
+	if _, err := NMI([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestNMIPerfect(t *testing.T) {
+	assign := []int32{0, 0, 1, 1, 2, 2}
+	labels := []int32{4, 4, 2, 2, 0, 0}
+	v, err := NMI(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMI = %v, want 1", v)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// A random assignment against random labels over many items → ≈ 0.
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	assign := make([]int32, n)
+	labels := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(rng.Intn(4))
+		labels[i] = int32(rng.Intn(4))
+	}
+	v, err := NMI(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.01 {
+		t.Fatalf("NMI of independent partitions = %v, want ≈ 0", v)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	v, err := NMI([]int32{0, 0}, []int32{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("NMI of two trivial partitions = %v, want 1", v)
+	}
+	v, err = NMI([]int32{0, 0}, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("NMI with one trivial side = %v, want 0", v)
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		assign := make([]int32, len(raw))
+		labels := make([]int32, len(raw))
+		for i, v := range raw {
+			assign[i] = int32(v % 3)
+			labels[i] = int32((v >> 2) % 4)
+		}
+		v, err := NMI(assign, labels)
+		if err != nil {
+			return false
+		}
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPurityLabelPermutationInvariant(t *testing.T) {
+	assign := []int32{0, 0, 1, 1, 2, 2, 2}
+	labels := []int32{1, 1, 0, 0, 2, 2, 0}
+	p1, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relabel classes 0→7, 1→5, 2→9.
+	perm := map[int32]int32{0: 7, 1: 5, 2: 9}
+	relabelled := make([]int32, len(labels))
+	for i, l := range labels {
+		relabelled[i] = perm[l]
+	}
+	p2, err := Purity(assign, relabelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("purity changed under label permutation: %v vs %v", p1, p2)
+	}
+}

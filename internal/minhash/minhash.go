@@ -1,0 +1,89 @@
+// Package minhash implements min-wise independent permutation signatures
+// (Broder 1997), the LSH family for Jaccard similarity adopted by the
+// paper (§III-A2, Algorithm 1 "SIGGEN").
+//
+// A Scheme holds n seeded hash functions h_1 … h_n. The signature of a set
+// S is the vector (min_{x∈S} h_1(x), …, min_{x∈S} h_n(x)). For two sets
+// X and Y, P[sig_i(X) = sig_i(Y)] equals their Jaccard similarity, so the
+// fraction of agreeing signature positions is an unbiased estimator of
+// J(X,Y).
+package minhash
+
+import (
+	"math"
+
+	"lshcluster/internal/hashfamily"
+)
+
+// EmptySlot is the signature value assigned to every position when the
+// input set is empty (Algorithm 1 line 2 initialises each slot to ∞).
+const EmptySlot = math.MaxUint64
+
+// Scheme is an immutable, seeded MinHash signature generator. It is safe
+// for concurrent use.
+type Scheme struct {
+	fam *hashfamily.Family
+}
+
+// NewScheme returns a scheme producing signatures of length numHashes,
+// derived deterministically from seed.
+func NewScheme(numHashes int, seed uint64) *Scheme {
+	return &Scheme{fam: hashfamily.New(numHashes, seed)}
+}
+
+// SignatureLen returns the number of hash functions (signature positions).
+func (s *Scheme) SignatureLen() int { return s.fam.Size() }
+
+// Sign computes the MinHash signature of set into dst and returns dst.
+// dst must have length SignatureLen. set is an unordered collection of
+// element identifiers (already filtered to present values, per
+// Algorithm 2 lines 1–5); duplicates are harmless. An empty set yields
+// EmptySlot in every position.
+//
+// This is Algorithm 1 of the paper: for every element, every hash
+// function is evaluated and the per-function minimum retained.
+func (s *Scheme) Sign(set []uint64, dst []uint64) []uint64 {
+	if len(dst) != s.fam.Size() {
+		panic("minhash: Sign dst length mismatch")
+	}
+	for i := range dst {
+		dst[i] = EmptySlot
+	}
+	funcs := s.fam.Funcs()
+	for _, x := range set {
+		// Inline Func.Hash over all functions with x reduced once.
+		xr := x % hashfamily.MersennePrime61
+		for i, f := range funcs {
+			h := hashfamily.AddMod61(hashfamily.MulMod61(f.A, xr), f.B)
+			if h < dst[i] {
+				dst[i] = h
+			}
+		}
+	}
+	return dst
+}
+
+// Signature allocates and returns the signature of set.
+func (s *Scheme) Signature(set []uint64) []uint64 {
+	return s.Sign(set, make([]uint64, s.SignatureLen()))
+}
+
+// EstimateJaccard returns the fraction of positions on which the two
+// signatures agree — the MinHash estimate of the Jaccard similarity of
+// the underlying sets. Both signatures must come from the same Scheme and
+// have equal length.
+func EstimateJaccard(a, b []uint64) float64 {
+	if len(a) != len(b) {
+		panic("minhash: signatures of different lengths")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}

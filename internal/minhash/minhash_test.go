@@ -1,0 +1,204 @@
+package minhash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureDeterministic(t *testing.T) {
+	s1 := NewScheme(64, 42)
+	s2 := NewScheme(64, 42)
+	set := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	a := s1.Signature(set)
+	b := s2.Signature(set)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("position %d differs across identically seeded schemes", i)
+		}
+	}
+	s3 := NewScheme(64, 43)
+	c := s3.Signature(set)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical signatures")
+	}
+}
+
+func TestSignatureOrderInvariant(t *testing.T) {
+	s := NewScheme(32, 7)
+	check := func(elems []uint64, swapA, swapB uint8) bool {
+		if len(elems) < 2 {
+			return true
+		}
+		perm := append([]uint64(nil), elems...)
+		i := int(swapA) % len(perm)
+		j := int(swapB) % len(perm)
+		perm[i], perm[j] = perm[j], perm[i]
+		a := s.Signature(elems)
+		b := s.Signature(perm)
+		for k := range a {
+			if a[k] != b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureDuplicatesIgnored(t *testing.T) {
+	s := NewScheme(16, 1)
+	a := s.Signature([]uint64{1, 2, 3})
+	b := s.Signature([]uint64{1, 1, 2, 2, 3, 3, 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("duplicates changed the signature")
+		}
+	}
+}
+
+func TestEmptySetSignature(t *testing.T) {
+	s := NewScheme(8, 5)
+	sig := s.Signature(nil)
+	for i, v := range sig {
+		if v != uint64(EmptySlot) {
+			t.Fatalf("empty-set signature[%d] = %d, want EmptySlot", i, v)
+		}
+	}
+}
+
+func TestIdenticalSetsFullAgreement(t *testing.T) {
+	s := NewScheme(128, 3)
+	set := []uint64{10, 20, 30, 40}
+	if est := EstimateJaccard(s.Signature(set), s.Signature(set)); est != 1 {
+		t.Fatalf("estimate for identical sets = %v, want 1", est)
+	}
+}
+
+func TestDisjointSetsLowAgreement(t *testing.T) {
+	s := NewScheme(256, 9)
+	a := make([]uint64, 50)
+	b := make([]uint64, 50)
+	for i := range a {
+		a[i] = uint64(i)
+		b[i] = uint64(i + 1000)
+	}
+	if est := EstimateJaccard(s.Signature(a), s.Signature(b)); est > 0.05 {
+		t.Fatalf("estimate for disjoint sets = %v, want ≈ 0", est)
+	}
+}
+
+// TestEstimatorAccuracy builds random set pairs with a known Jaccard
+// similarity and checks the MinHash estimate converges to it. With 512
+// hash functions the standard error is sqrt(J(1−J)/512) ≤ 0.023, so a
+// 0.08 tolerance gives ≈ 3.5 sigma headroom.
+func TestEstimatorAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := NewScheme(512, 2024)
+	for _, shared := range []int{10, 30, 50, 80} {
+		const total = 100 // |A| = |B| = 100, |A∩B| = shared
+		a := make([]uint64, 0, total)
+		b := make([]uint64, 0, total)
+		base := rng.Uint64() >> 1
+		for i := 0; i < shared; i++ {
+			v := base + uint64(i)
+			a = append(a, v)
+			b = append(b, v)
+		}
+		for i := 0; i < total-shared; i++ {
+			a = append(a, base+uint64(10_000+i))
+			b = append(b, base+uint64(20_000+i))
+		}
+		trueJ := float64(shared) / float64(2*total-shared)
+		est := EstimateJaccard(s.Signature(a), s.Signature(b))
+		if math.Abs(est-trueJ) > 0.08 {
+			t.Errorf("shared=%d: estimate %.3f, true %.3f", shared, est, trueJ)
+		}
+	}
+}
+
+// TestPerPositionAgreementMatchesJaccard verifies the core MinHash
+// property across many independent schemes: a single position agrees with
+// probability ≈ J.
+func TestPerPositionAgreementMatchesJaccard(t *testing.T) {
+	a := []uint64{1, 2, 3, 4, 5, 6}
+	b := []uint64{4, 5, 6, 7, 8, 9}
+	trueJ := 3.0 / 9.0
+	const schemes = 200
+	agree, total := 0, 0
+	for seed := uint64(0); seed < schemes; seed++ {
+		s := NewScheme(8, seed)
+		sa, sb := s.Signature(a), s.Signature(b)
+		for i := range sa {
+			if sa[i] == sb[i] {
+				agree++
+			}
+			total++
+		}
+	}
+	got := float64(agree) / float64(total)
+	// 1600 Bernoulli trials, sd ≈ 0.012; allow 4 sigma.
+	if math.Abs(got-trueJ) > 0.05 {
+		t.Fatalf("per-position agreement %.3f, want ≈ %.3f", got, trueJ)
+	}
+}
+
+func TestSubsetMonotonicity(t *testing.T) {
+	// J(A, A∪B) ≥ J(A, A∪B∪C): adding noise cannot raise the estimate
+	// much; check estimates are ordered within tolerance.
+	s := NewScheme(512, 77)
+	base := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	small := append(append([]uint64{}, base...), 100, 101)
+	big := append(append([]uint64{}, small...), 200, 201, 202, 203, 204, 205, 206, 207)
+	estSmall := EstimateJaccard(s.Signature(base), s.Signature(small))
+	estBig := EstimateJaccard(s.Signature(base), s.Signature(big))
+	if estBig > estSmall+0.05 {
+		t.Fatalf("estimate grew when union grew: %v vs %v", estBig, estSmall)
+	}
+}
+
+func TestSignLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst length")
+		}
+	}()
+	NewScheme(4, 0).Sign([]uint64{1}, make([]uint64, 3))
+}
+
+func TestEstimateLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched signature lengths")
+		}
+	}()
+	EstimateJaccard(make([]uint64, 2), make([]uint64, 3))
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	if EstimateJaccard(nil, nil) != 0 {
+		t.Fatal("estimate of zero-length signatures should be 0")
+	}
+}
+
+func BenchmarkSign100Elems100Hashes(b *testing.B) {
+	s := NewScheme(100, 1)
+	set := make([]uint64, 100)
+	for i := range set {
+		set[i] = uint64(i) * 2654435761
+	}
+	dst := make([]uint64, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sign(set, dst)
+	}
+}

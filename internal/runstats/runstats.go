@@ -1,0 +1,158 @@
+// Package runstats holds per-iteration clustering statistics — the
+// quantities the paper plots (time per iteration, average shortlist size,
+// moves, total time, purity) — and renders them as CSV or markdown.
+package runstats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Iteration records one assignment+update pass.
+type Iteration struct {
+	// Index is 1-based; the bootstrap pass is reported separately.
+	Index int
+	// Duration is the wall time of the pass (assignment + mode update).
+	Duration time.Duration
+	// Moves counts items that changed cluster during the pass
+	// (paper figures "Moves").
+	Moves int
+	// Comparisons counts item-to-centroid dissimilarity evaluations.
+	Comparisons int64
+	// CandidatesTotal sums shortlist sizes over all items; for the exact
+	// algorithm the shortlist is the full cluster set.
+	CandidatesTotal int64
+	// AvgShortlist is CandidatesTotal divided by the number of items
+	// (paper figures "Avg. Clusters Returned").
+	AvgShortlist float64
+	// Cost is the clustering objective after the pass (K-Modes Eq. 4),
+	// NaN when cost tracking is disabled.
+	Cost float64
+}
+
+// Run aggregates a full clustering execution.
+type Run struct {
+	// Name identifies the configuration, e.g. "K-Modes" or
+	// "MH-K-Modes 20b5r".
+	Name string
+	// Bootstrap is the time spent before iteration 1: the initial full
+	// assignment plus, for accelerated runs, MinHashing the dataset and
+	// building the index (the paper's "initial extra step").
+	Bootstrap time.Duration
+	// Iterations holds one entry per pass, in order.
+	Iterations []Iteration
+	// Converged reports whether the run stopped because no item moved
+	// (as opposed to hitting the iteration cap).
+	Converged bool
+	// Purity is the external quality score in [0,1], NaN when no ground
+	// truth was available.
+	Purity float64
+}
+
+// Total returns bootstrap plus all iteration durations.
+func (r *Run) Total() time.Duration {
+	t := r.Bootstrap
+	for _, it := range r.Iterations {
+		t += it.Duration
+	}
+	return t
+}
+
+// NumIterations returns the number of passes executed.
+func (r *Run) NumIterations() int { return len(r.Iterations) }
+
+// MeanIterationTime returns the average pass duration (0 for no passes).
+func (r *Run) MeanIterationTime() time.Duration {
+	if len(r.Iterations) == 0 {
+		return 0
+	}
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.Duration
+	}
+	return t / time.Duration(len(r.Iterations))
+}
+
+// TotalMoves sums moves across all passes.
+func (r *Run) TotalMoves() int {
+	n := 0
+	for _, it := range r.Iterations {
+		n += it.Moves
+	}
+	return n
+}
+
+// Speedup returns how many times faster r completed than other
+// (other.Total / r.Total).
+func (r *Run) Speedup(other *Run) float64 {
+	if r.Total() <= 0 {
+		return 0
+	}
+	return float64(other.Total()) / float64(r.Total())
+}
+
+// WriteCSV emits runs in long format, one row per (run, iteration), with
+// a pseudo-iteration 0 row carrying the bootstrap duration. Suitable for
+// direct plotting.
+func WriteCSV(w io.Writer, runs []*Run) error {
+	cw := csv.NewWriter(w)
+	header := []string{"run", "iteration", "duration_ms", "moves",
+		"comparisons", "avg_shortlist", "cost"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("runstats: writing CSV header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, r := range runs {
+		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", ""}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("runstats: writing CSV: %w", err)
+		}
+		for _, it := range r.Iterations {
+			row := []string{
+				r.Name,
+				strconv.Itoa(it.Index),
+				f(ms(it.Duration)),
+				strconv.Itoa(it.Moves),
+				strconv.FormatInt(it.Comparisons, 10),
+				f(it.AvgShortlist),
+				f(it.Cost),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("runstats: writing CSV: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("runstats: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteSummaryMarkdown renders a per-run summary table: iterations,
+// bootstrap, mean iteration time, total, moves, purity.
+func WriteSummaryMarkdown(w io.Writer, runs []*Run) error {
+	if _, err := fmt.Fprintln(w, "| run | iters | converged | bootstrap | mean iter | total | moves | purity |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		_, err := fmt.Fprintf(w, "| %s | %d | %v | %s | %s | %s | %d | %.4f |\n",
+			r.Name, r.NumIterations(), r.Converged,
+			r.Bootstrap.Round(time.Millisecond),
+			r.MeanIterationTime().Round(time.Millisecond),
+			r.Total().Round(time.Millisecond),
+			r.TotalMoves(), r.Purity)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package runstats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRun() *Run {
+	return &Run{
+		Name:      "MH-K-Modes 20b 5r",
+		Bootstrap: 100 * time.Millisecond,
+		Iterations: []Iteration{
+			{Index: 1, Duration: 50 * time.Millisecond, Moves: 40, Comparisons: 900,
+				CandidatesTotal: 120, AvgShortlist: 1.2, Cost: 420},
+			{Index: 2, Duration: 30 * time.Millisecond, Moves: 0, Comparisons: 800,
+				CandidatesTotal: 110, AvgShortlist: 1.1, Cost: 400},
+		},
+		Converged: true,
+		Purity:    0.91,
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	r := sampleRun()
+	if r.Total() != 180*time.Millisecond {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	if r.NumIterations() != 2 {
+		t.Fatalf("NumIterations = %d", r.NumIterations())
+	}
+	if r.MeanIterationTime() != 40*time.Millisecond {
+		t.Fatalf("MeanIterationTime = %v", r.MeanIterationTime())
+	}
+	if r.TotalMoves() != 40 {
+		t.Fatalf("TotalMoves = %d", r.TotalMoves())
+	}
+	empty := &Run{Name: "x"}
+	if empty.MeanIterationTime() != 0 {
+		t.Fatal("mean of no iterations should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	fast := sampleRun()
+	slow := sampleRun()
+	slow.Iterations = append(slow.Iterations, Iteration{Index: 3, Duration: 180 * time.Millisecond})
+	if got := fast.Speedup(slow); got != 2 {
+		t.Fatalf("Speedup = %v, want 2", got)
+	}
+	zero := &Run{}
+	if zero.Speedup(fast) != 0 {
+		t.Fatal("zero-duration run should report 0 speedup")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Run{sampleRun()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + bootstrap row + 2 iterations
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "run,iteration,duration_ms") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",0,100") {
+		t.Fatalf("bootstrap row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",1,50,40,900,1.2,420") {
+		t.Fatalf("iteration row = %q", lines[2])
+	}
+}
+
+func TestWriteSummaryMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummaryMarkdown(&buf, []*Run{sampleRun()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"| run |", "MH-K-Modes 20b 5r", "0.9100", "| 2 |", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVHandlesNaNCost(t *testing.T) {
+	r := sampleRun()
+	r.Iterations[0].Cost = math.NaN()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Run{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN cost should serialise as NaN")
+	}
+}

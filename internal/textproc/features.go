@@ -1,0 +1,56 @@
+package textproc
+
+import (
+	"fmt"
+
+	"lshcluster/internal/dataset"
+)
+
+// Document is one text item to be clustered: its tokens and its
+// ground-truth topic label (−1 when unknown).
+type Document struct {
+	Tokens []string
+	Label  int32
+}
+
+// BuildBinaryDataset converts documents into the paper's categorical
+// representation (§IV-B): one attribute per vocabulary word, value "1"
+// when the word occurs in the document and "0" otherwise. Both values are
+// interned per attribute — the paper's `zoo-1` / `zoo-0` augmentation —
+// and the "0" values are flagged as absent so that MinHash ignores them
+// (Algorithm 2 lines 2–4) while the K-Modes dissimilarity still compares
+// all attributes.
+//
+// Documents must all be labelled or all unlabelled.
+func BuildBinaryDataset(docs []Document, vocab *Vocabulary) (*dataset.Dataset, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("textproc: no documents")
+	}
+	if vocab == nil || vocab.Size() == 0 {
+		return nil, fmt.Errorf("textproc: empty vocabulary")
+	}
+	labelled := docs[0].Label >= 0
+	b := dataset.NewBuilder(vocab.Words())
+	m := vocab.Size()
+	row := make([]string, m)
+	present := make([]bool, m)
+	for i, doc := range docs {
+		if (doc.Label >= 0) != labelled {
+			return nil, fmt.Errorf("textproc: document %d mixes labelled and unlabelled", i)
+		}
+		for a := 0; a < m; a++ {
+			row[a] = "0"
+			present[a] = false
+		}
+		for _, w := range doc.Tokens {
+			if a, ok := vocab.Index(w); ok {
+				row[a] = "1"
+				present[a] = true
+			}
+		}
+		if err := b.AddPresence(row, present, int(doc.Label), labelled); err != nil {
+			return nil, fmt.Errorf("textproc: document %d: %w", i, err)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,242 @@
+package textproc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // space-joined
+	}{
+		{"Hello, World!", "hello world"},
+		{"im interested in being a zoologist?Does zoologist work", "im interested in being a zoologist does zoologist work"},
+		{"don't stop", "dont stop"},
+		{"x2  +  y2", "x2 y2"},
+		{"", ""},
+		{"...", ""},
+		{"ÜBER-cool", "über cool"},
+	}
+	for _, c := range cases {
+		got := strings.Join(Tokenize(c.in), " ")
+		if got != c.want {
+			t.Errorf("Tokenize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDefaultStopwordsCopy(t *testing.T) {
+	a := DefaultStopwords()
+	b := DefaultStopwords()
+	a["zoologist"] = true
+	if b["zoologist"] {
+		t.Fatal("DefaultStopwords shares state between calls")
+	}
+	if !a["the"] || !a["and"] {
+		t.Fatal("stopword set missing basics")
+	}
+}
+
+// zooScorer models the paper's example: a zoology topic where "zoo" words
+// dominate, plus other topics sharing only common words.
+func zooScorer() *Scorer {
+	s := NewScorer()
+	s.AddTopic("zoology", strings.Fields(
+		"zoologist zoo zoologist animals what does a zoologist do work zoo"))
+	s.AddTopic("cooking", strings.Fields(
+		"recipe oven what does a chef do work kitchen recipe"))
+	s.AddTopic("cars", strings.Fields(
+		"engine wheel what does a mechanic do work garage engine"))
+	return s
+}
+
+func TestIDFShape(t *testing.T) {
+	s := zooScorer()
+	// "what" appears in all 3 topics: IDF = log(3/3) = 0.
+	if idf := s.IDF("what"); idf != 0 {
+		t.Fatalf("IDF(what) = %v, want 0", idf)
+	}
+	// "zoologist" appears in 1 topic: IDF = log 3.
+	if idf := s.IDF("zoologist"); math.Abs(idf-math.Log(3)) > 1e-12 {
+		t.Fatalf("IDF(zoologist) = %v, want log 3", idf)
+	}
+	// Unknown word gets max IDF.
+	if idf := s.IDF("quark"); math.Abs(idf-math.Log(3)) > 1e-12 {
+		t.Fatalf("IDF(unknown) = %v, want log 3", idf)
+	}
+}
+
+func TestScoreRanksTopicalWords(t *testing.T) {
+	s := zooScorer()
+	zoo := s.Score(0, "zoologist")
+	common := s.Score(0, "what")
+	if zoo <= common {
+		t.Fatalf("Score(zoologist)=%v not above Score(what)=%v", zoo, common)
+	}
+	// "zoologist" is the most frequent word of its topic and unique to
+	// it → normalised score exactly 1.
+	if math.Abs(zoo-1) > 1e-12 {
+		t.Fatalf("Score(zoologist) = %v, want 1", zoo)
+	}
+	if got := s.Score(0, "recipe"); got != 0 {
+		t.Fatalf("score of absent word = %v, want 0", got)
+	}
+	if s.Score(1, "recipe") <= 0 {
+		t.Fatal("topical word of another topic must score there")
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	s := zooScorer()
+	for tpc := 0; tpc < s.NumTopics(); tpc++ {
+		for _, w := range []string{"zoologist", "zoo", "what", "does", "work", "recipe", "engine"} {
+			sc := s.Score(tpc, w)
+			if sc < 0 || sc > 1 {
+				t.Fatalf("Score(%d,%q) = %v outside [0,1]", tpc, w, sc)
+			}
+		}
+	}
+}
+
+func TestSelectVocabulary(t *testing.T) {
+	s := zooScorer()
+	v, err := s.SelectVocabulary(VocabConfig{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustHave := []string{"zoologist", "recipe", "engine"}
+	for _, w := range mustHave {
+		if _, ok := v.Index(w); !ok {
+			t.Errorf("vocabulary missing topical word %q", w)
+		}
+	}
+	if _, ok := v.Index("what"); ok {
+		t.Error("vocabulary contains cross-topic word \"what\"")
+	}
+	// Lower threshold must never shrink the vocabulary.
+	v2, err := s.SelectVocabulary(VocabConfig{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() < v.Size() {
+		t.Fatalf("lower threshold shrank vocabulary: %d < %d", v2.Size(), v.Size())
+	}
+}
+
+func TestSelectVocabularyCapAndStopwords(t *testing.T) {
+	s := zooScorer()
+	v, err := s.SelectVocabulary(VocabConfig{Threshold: 0.1, MaxWordsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One word per topic at most, and unions may overlap → ≤ 3.
+	if v.Size() > 3 {
+		t.Fatalf("cap violated: vocabulary has %d words", v.Size())
+	}
+	stop := map[string]bool{"zoologist": true}
+	v2, err := s.SelectVocabulary(VocabConfig{Threshold: 0.1, Stopwords: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Index("zoologist"); ok {
+		t.Fatal("stopword survived selection")
+	}
+}
+
+func TestSelectVocabularyErrors(t *testing.T) {
+	s := zooScorer()
+	if _, err := s.SelectVocabulary(VocabConfig{Threshold: 1.5}); err == nil {
+		t.Fatal("expected threshold range error")
+	}
+	one := NewScorer()
+	one.AddTopic("only", []string{"word"})
+	if _, err := one.SelectVocabulary(VocabConfig{Threshold: 0.5}); err == nil {
+		t.Fatal("expected error with a single topic")
+	}
+	if _, err := s.SelectVocabulary(VocabConfig{Threshold: 1.0}); err == nil {
+		// zoologist scores exactly 1.0, so threshold 1.0 still selects it;
+		// push over with stopwords.
+		t.Log("threshold 1.0 selected maximal words (fine)")
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary([]string{"b", "a", "c"})
+	if v.Size() != 3 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	i, ok := v.Index("a")
+	if !ok || v.Words()[i] != "a" {
+		t.Fatal("Index/Words inconsistent")
+	}
+	if _, ok := v.Index("zzz"); ok {
+		t.Fatal("Index invented a word")
+	}
+}
+
+func TestBuildBinaryDataset(t *testing.T) {
+	vocab := NewVocabulary([]string{"engine", "recipe", "zoo"})
+	docs := []Document{
+		{Tokens: []string{"zoo", "animals", "zoo"}, Label: 0},
+		{Tokens: []string{"recipe", "oven"}, Label: 1},
+		{Tokens: []string{"nothing", "relevant"}, Label: 2},
+	}
+	ds, err := BuildBinaryDataset(docs, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems() != 3 || ds.NumAttrs() != 3 {
+		t.Fatalf("shape = (%d,%d)", ds.NumItems(), ds.NumAttrs())
+	}
+	// Document 0: only "zoo" present → exactly one present value.
+	if got := len(ds.PresentValues(0, nil)); got != 1 {
+		t.Fatalf("doc 0 present values = %d, want 1", got)
+	}
+	// Document 2 has no vocabulary words → empty present set.
+	if got := len(ds.PresentValues(2, nil)); got != 0 {
+		t.Fatalf("doc 2 present values = %d, want 0", got)
+	}
+	// K-Modes still sees all attributes: docs 1 and 2 agree on engine=0
+	// and zoo=0 → 1 mismatch (recipe).
+	d := 0
+	r1, r2 := ds.Row(1), ds.Row(2)
+	for a := range r1 {
+		if r1[a] != r2[a] {
+			d++
+		}
+	}
+	if d != 1 {
+		t.Fatalf("rows 1,2 mismatch on %d attrs, want 1", d)
+	}
+	if ds.Label(0) != 0 || ds.Label(2) != 2 {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestBuildBinaryDatasetUnlabelled(t *testing.T) {
+	vocab := NewVocabulary([]string{"x"})
+	docs := []Document{{Tokens: []string{"x"}, Label: -1}}
+	ds, err := BuildBinaryDataset(docs, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Labeled() {
+		t.Fatal("dataset should be unlabelled")
+	}
+}
+
+func TestBuildBinaryDatasetErrors(t *testing.T) {
+	vocab := NewVocabulary([]string{"x"})
+	if _, err := BuildBinaryDataset(nil, vocab); err == nil {
+		t.Fatal("expected error for no documents")
+	}
+	if _, err := BuildBinaryDataset([]Document{{Tokens: nil, Label: 0}}, NewVocabulary(nil)); err == nil {
+		t.Fatal("expected error for empty vocabulary")
+	}
+	mixed := []Document{{Tokens: nil, Label: 0}, {Tokens: nil, Label: -1}}
+	if _, err := BuildBinaryDataset(mixed, vocab); err == nil {
+		t.Fatal("expected error for mixed labelling")
+	}
+}

@@ -1,0 +1,210 @@
+package textproc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scorer computes TF-IDF scores over a collection of topic documents,
+// where — following the paper's setup — each *topic* is treated as one
+// document formed by all of its questions, so IDF penalises words common
+// across topics and rewards words concentrated in few topics (the
+// "zoologist"/"zoo" example of §IV-B1).
+//
+// Scores are normalised per topic by the topic's maximum raw TF-IDF, so
+// every topic's most discriminative word scores exactly 1 and the
+// paper's absolute thresholds (0.7, 0.3) select words relative to it.
+// This keeps the thresholds meaningful regardless of corpus size or
+// background-word volume.
+type Scorer struct {
+	topics []string
+	counts []map[string]int // word counts per topic
+	maxTF  []int            // highest word count per topic
+	df     map[string]int   // number of topics containing each word
+
+	// maxRaw caches the per-topic maximum raw TF-IDF; invalidated by
+	// AddTopic because IDF is global.
+	maxRaw []float64
+	dirty  bool
+}
+
+// NewScorer creates an empty scorer.
+func NewScorer() *Scorer {
+	return &Scorer{df: make(map[string]int)}
+}
+
+// AddTopic registers a topic with the tokens of all its questions and
+// returns its index. Topic names are not required to be unique, but each
+// call creates a new topic document.
+func (s *Scorer) AddTopic(name string, tokens []string) int {
+	counts := make(map[string]int)
+	for _, w := range tokens {
+		counts[w]++
+	}
+	maxTF := 0
+	for w, c := range counts {
+		if c > maxTF {
+			maxTF = c
+		}
+		s.df[w]++
+	}
+	s.topics = append(s.topics, name)
+	s.counts = append(s.counts, counts)
+	s.maxTF = append(s.maxTF, maxTF)
+	s.dirty = true
+	return len(s.topics) - 1
+}
+
+// NumTopics returns the number of topic documents added.
+func (s *Scorer) NumTopics() int { return len(s.topics) }
+
+// TopicName returns topic t's name.
+func (s *Scorer) TopicName(t int) string { return s.topics[t] }
+
+// IDF returns the inverse document frequency of word (Eq. 7):
+// log(N / n_word), with N the number of topics. Unknown words get the
+// maximum, log N.
+func (s *Scorer) IDF(word string) float64 {
+	n := s.df[word]
+	if n == 0 {
+		return math.Log(float64(len(s.topics)))
+	}
+	return math.Log(float64(len(s.topics)) / float64(n))
+}
+
+// rawScore is the unnormalised TF-IDF of word in topic t:
+// (count/maxCount) · IDF (Eq. 7 applied to topic documents).
+func (s *Scorer) rawScore(t int, word string) float64 {
+	c := s.counts[t][word]
+	if c == 0 || s.maxTF[t] == 0 {
+		return 0
+	}
+	tf := float64(c) / float64(s.maxTF[t])
+	return tf * s.IDF(word)
+}
+
+// topicMax returns the maximum raw TF-IDF within topic t, recomputing
+// the per-topic cache when topics were added since the last call.
+func (s *Scorer) topicMax(t int) float64 {
+	if s.dirty || len(s.maxRaw) != len(s.topics) {
+		s.maxRaw = make([]float64, len(s.topics))
+		for i := range s.topics {
+			for w := range s.counts[i] {
+				if r := s.rawScore(i, w); r > s.maxRaw[i] {
+					s.maxRaw[i] = r
+				}
+			}
+		}
+		s.dirty = false
+	}
+	return s.maxRaw[t]
+}
+
+// Score returns the normalised TF-IDF score of word within topic t:
+// rawTFIDF(t, word) / max_w rawTFIDF(t, w) ∈ [0,1]. The topic's most
+// discriminative word scores exactly 1; words shared by every topic
+// score 0 (their IDF vanishes).
+func (s *Scorer) Score(t int, word string) float64 {
+	if len(s.topics) < 2 {
+		return 0 // IDF is undefined with fewer than two documents
+	}
+	maxRaw := s.topicMax(t)
+	if maxRaw == 0 {
+		return 0
+	}
+	return s.rawScore(t, word) / maxRaw
+}
+
+// VocabConfig controls vocabulary selection.
+type VocabConfig struct {
+	// Threshold is the minimum normalised TF-IDF score for a word to
+	// enter the vocabulary (the paper tests 0.7 and 0.3).
+	Threshold float64
+	// MaxWordsPerTopic caps how many words each topic may contribute,
+	// best-scored first (the paper caps at 10 000). 0 means unlimited.
+	MaxWordsPerTopic int
+	// Stopwords are excluded outright. Nil means no stopword filtering.
+	Stopwords map[string]bool
+}
+
+// SelectVocabulary returns the union over topics of words scoring at or
+// above the threshold, sorted lexicographically for determinism.
+func (s *Scorer) SelectVocabulary(cfg VocabConfig) (*Vocabulary, error) {
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("textproc: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	if len(s.topics) < 2 {
+		return nil, fmt.Errorf("textproc: need at least 2 topics, have %d", len(s.topics))
+	}
+	type scored struct {
+		word  string
+		score float64
+	}
+	selected := make(map[string]bool)
+	for t := range s.topics {
+		var cand []scored
+		for w := range s.counts[t] {
+			if cfg.Stopwords[w] {
+				continue
+			}
+			if sc := s.Score(t, w); sc >= cfg.Threshold {
+				cand = append(cand, scored{w, sc})
+			}
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].score != cand[j].score {
+				return cand[i].score > cand[j].score
+			}
+			return cand[i].word < cand[j].word
+		})
+		if cfg.MaxWordsPerTopic > 0 && len(cand) > cfg.MaxWordsPerTopic {
+			cand = cand[:cfg.MaxWordsPerTopic]
+		}
+		for _, c := range cand {
+			selected[c.word] = true
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("textproc: vocabulary empty at threshold %v", cfg.Threshold)
+	}
+	words := make([]string, 0, len(selected))
+	for w := range selected {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return NewVocabulary(words), nil
+}
+
+// Vocabulary is an ordered word list with O(1) membership lookup. Each
+// word becomes one attribute of the binary feature vectors.
+type Vocabulary struct {
+	words []string
+	index map[string]int
+}
+
+// NewVocabulary builds a vocabulary from words, which must be free of
+// duplicates.
+func NewVocabulary(words []string) *Vocabulary {
+	v := &Vocabulary{
+		words: append([]string(nil), words...),
+		index: make(map[string]int, len(words)),
+	}
+	for i, w := range v.words {
+		v.index[w] = i
+	}
+	return v
+}
+
+// Size returns the number of words (feature-vector width).
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Words returns the ordered word list; the slice must not be modified.
+func (v *Vocabulary) Words() []string { return v.words }
+
+// Index returns word's attribute index and whether it is in the
+// vocabulary.
+func (v *Vocabulary) Index(word string) (int, bool) {
+	i, ok := v.index[word]
+	return i, ok
+}

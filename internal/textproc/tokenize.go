@@ -1,0 +1,58 @@
+// Package textproc implements the text preparation pipeline of the
+// paper's Yahoo! Answers experiment (§IV-B): tokenisation, per-topic
+// TF-IDF scoring (Eq. 7) with threshold-based vocabulary selection, and
+// conversion of documents into binary word-presence feature vectors whose
+// absence markers are invisible to MinHash (the `word-0` / `word-1`
+// augmentation the paper describes).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases text and splits it into maximal runs of letters
+// and digits. Apostrophes inside words are dropped (so "don't" becomes
+// "dont"), matching the bag-of-words treatment a question title receives
+// in the paper's pipeline.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			// skip: joins the surrounding word
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// DefaultStopwords returns a fresh copy of a small English stopword set
+// used to keep function words out of TF-IDF vocabularies. Callers may add
+// or remove entries freely.
+func DefaultStopwords() map[string]bool {
+	words := []string{
+		"a", "an", "and", "are", "as", "at", "be", "but", "by", "can",
+		"do", "does", "for", "from", "had", "has", "have", "how", "i",
+		"if", "im", "in", "is", "it", "its", "me", "my", "no", "not",
+		"of", "on", "or", "so", "that", "the", "their", "them", "they",
+		"this", "to", "was", "we", "were", "what", "when", "where",
+		"which", "who", "why", "will", "with", "you", "your",
+	}
+	set := make(map[string]bool, len(words))
+	for _, w := range words {
+		set[w] = true
+	}
+	return set
+}

@@ -1,0 +1,176 @@
+package yahoogen
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{Topics: 12, QuestionsPerTopic: 20, Seed: 5}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Questions) != 12*20 {
+		t.Fatalf("%d questions, want 240", len(c.Questions))
+	}
+	if len(c.TopicNames) != 12 {
+		t.Fatalf("%d topic names", len(c.TopicNames))
+	}
+	for i, q := range c.Questions {
+		if q.Topic < 0 || int(q.Topic) >= 12 {
+			t.Fatalf("question %d topic %d out of range", i, q.Topic)
+		}
+		if len(q.Tokens) < 8 || len(q.Tokens) > 30 {
+			t.Fatalf("question %d has %d tokens, want [8,30]", i, len(q.Tokens))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Questions {
+		if strings.Join(a.Questions[i].Tokens, " ") != strings.Join(b.Questions[i].Tokens, " ") {
+			t.Fatalf("question %d differs across identically seeded runs", i)
+		}
+	}
+}
+
+func TestTopicWordsBelongToContentTopic(t *testing.T) {
+	c, err := Generate(smallCfg()) // MislabelProb 0 → content topic = label
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range c.Questions {
+		prefix := "t" + itoa(int(q.Topic)) + "w"
+		for _, tok := range q.Tokens {
+			if strings.HasPrefix(tok, "t") && !strings.HasPrefix(tok, prefix) && !strings.HasPrefix(tok, "common") {
+				t.Fatalf("question %d (topic %d) contains foreign keyword %q", i, q.Topic, tok)
+			}
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Topics: 1, QuestionsPerTopic: 5},
+		{Topics: 3, QuestionsPerTopic: 0},
+		{Topics: 3, QuestionsPerTopic: 5, MinWords: 10, MaxWords: 5},
+		{Topics: 3, QuestionsPerTopic: 5, TopicWordProb: 1.5},
+		{Topics: 3, QuestionsPerTopic: 5, MislabelProb: 1.0},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d: Generate(%+v) succeeded, want error", i, c)
+		}
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	c, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, vocab, err := c.BuildDataset(PipelineConfig{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems() != len(c.Questions) {
+		t.Fatalf("dataset has %d items, want %d", ds.NumItems(), len(c.Questions))
+	}
+	if ds.NumAttrs() != vocab.Size() {
+		t.Fatalf("attrs %d != vocab %d", ds.NumAttrs(), vocab.Size())
+	}
+	if !ds.Labeled() {
+		t.Fatal("dataset must carry topic ground truth")
+	}
+	// The vocabulary should be dominated by topical words, not
+	// background chatter.
+	topical := 0
+	for _, w := range vocab.Words() {
+		if strings.HasPrefix(w, "t") && strings.Contains(w, "w") {
+			topical++
+		}
+	}
+	if frac := float64(topical) / float64(vocab.Size()); frac < 0.8 {
+		t.Fatalf("only %.0f%% of vocabulary is topical", frac*100)
+	}
+	// Feature vectors must be sparse: far fewer present values than
+	// attributes.
+	totalPresent := 0
+	for i := 0; i < ds.NumItems(); i++ {
+		totalPresent += len(ds.PresentValues(i, nil))
+	}
+	meanPresent := float64(totalPresent) / float64(ds.NumItems())
+	if meanPresent >= float64(ds.NumAttrs())/4 {
+		t.Fatalf("items not sparse: %.1f present of %d attrs", meanPresent, ds.NumAttrs())
+	}
+}
+
+func TestThresholdControlsWidth(t *testing.T) {
+	c, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsHigh, _, err := c.BuildDataset(PipelineConfig{Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsLow, _, err := c.BuildDataset(PipelineConfig{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lowering the threshold widens the vocabulary (paper: 382 attrs at
+	// 0.7 → 2 881 at 0.3).
+	if dsLow.NumAttrs() <= dsHigh.NumAttrs() {
+		t.Fatalf("threshold 0.2 gave %d attrs, 0.7 gave %d — expected growth",
+			dsLow.NumAttrs(), dsHigh.NumAttrs())
+	}
+}
+
+func TestMislabelNoiseKeepsLabels(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MislabelProb = 0.3
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are still one block per topic.
+	perTopic := map[int32]int{}
+	for _, q := range c.Questions {
+		perTopic[q.Topic]++
+	}
+	for tpc, n := range perTopic {
+		if n != 20 {
+			t.Fatalf("topic %d has %d questions, want 20", tpc, n)
+		}
+	}
+	// But some questions now carry foreign keywords.
+	foreign := 0
+	for _, q := range c.Questions {
+		prefix := "t" + itoa(int(q.Topic)) + "w"
+		for _, tok := range q.Tokens {
+			if strings.HasPrefix(tok, "t") && !strings.HasPrefix(tok, "common") &&
+				!strings.HasPrefix(tok, prefix) {
+				foreign++
+				break
+			}
+		}
+	}
+	if foreign == 0 {
+		t.Fatal("MislabelProb 0.3 produced no mislabelled content")
+	}
+}

@@ -1,0 +1,74 @@
+package lshcluster
+
+import "testing"
+
+func TestInitMethods(t *testing.T) {
+	ds := syntheticDataset(t)
+	for _, init := range []InitMethod{InitRandom, InitHuang, InitCao} {
+		res, err := Cluster(ds, Config{K: 15, Seed: 3, Init: init, MaxIterations: 5})
+		if err != nil {
+			t.Fatalf("init %d: %v", init, err)
+		}
+		if len(res.Assign) != ds.NumItems() {
+			t.Fatalf("init %d: bad assignment length", init)
+		}
+		if res.Stats.Purity <= 0 {
+			t.Fatalf("init %d: purity %v", init, res.Stats.Purity)
+		}
+	}
+	if _, err := Cluster(ds, Config{K: 15, Init: InitMethod(99)}); err == nil {
+		t.Fatal("expected error for unknown init method")
+	}
+}
+
+func TestStreamingFacade(t *testing.T) {
+	ds := syntheticDataset(t)
+	batch, err := Cluster(ds, Config{K: 15, Seed: 3, LSH: &Params{Bands: 10, Rows: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := StreamFromModel(batch.Model, Params{Bands: 10, Rows: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		if _, err := sc.Add(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.NumItems() != ds.NumItems() {
+		t.Fatalf("NumItems = %d", sc.NumItems())
+	}
+	p, err := Purity(sc.Assignments(), ds.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < batch.Stats.Purity-0.2 {
+		t.Fatalf("streaming purity %v far below batch %v", p, batch.Stats.Purity)
+	}
+	// Direct construction path.
+	sc2, err := NewStream(StreamConfig{
+		Params:       Params{Bands: 4, Rows: 2},
+		InitialModes: batch.Model.Modes,
+		NumAttrs:     batch.Model.M,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.NumClusters() != 15 {
+		t.Fatalf("NumClusters = %d", sc2.NumClusters())
+	}
+}
+
+func TestNewDatasetFromValues(t *testing.T) {
+	ds, err := NewDatasetFromValues([]string{"a", "b"}, []Value{1, 2, 3, 4}, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems() != 2 || !ds.Labeled() {
+		t.Fatalf("dataset = %v", ds)
+	}
+	if _, err := NewDatasetFromValues([]string{"a", "b"}, []Value{1, 2, 3}, nil); err == nil {
+		t.Fatal("expected ragged error")
+	}
+}
