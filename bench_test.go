@@ -8,6 +8,7 @@ package lshcluster
 
 import (
 	"io"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"lshcluster/internal/kmeans"
 	"lshcluster/internal/kmodes"
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/minhash"
 	"lshcluster/internal/simhash"
 )
 
@@ -87,7 +89,16 @@ func ablWorkload(b *testing.B) *dataset.Dataset {
 	return ablDS
 }
 
+// runAbl benchmarks a timing-only configuration (SkipCost: the
+// objective pass is not part of what the ablation varies).
 func runAbl(b *testing.B, opts core.Options, withAccel bool) {
+	opts.SkipCost = true
+	runAblOpts(b, opts, withAccel)
+}
+
+// runAblOpts runs the ablation workload with the options exactly as
+// given.
+func runAblOpts(b *testing.B, opts core.Options, withAccel bool) {
 	ds := ablWorkload(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -108,7 +119,6 @@ func runAbl(b *testing.B, opts core.Options, withAccel bool) {
 			o.Accelerator = accel
 		}
 		o.MaxIterations = 8
-		o.SkipCost = true
 		if _, err := core.Run(space, o); err != nil {
 			b.Fatal(err)
 		}
@@ -147,6 +157,19 @@ func BenchmarkAblationEarlyAbandonOff(b *testing.B) {
 
 func BenchmarkAblationEarlyAbandonOn(b *testing.B) {
 	runAbl(b, core.Options{EarlyAbandon: true}, false)
+}
+
+// Ablation: incremental engine (FreqTable moves + dirty-cluster
+// refresh + O(1) objective) vs the batch oracle (full
+// RecomputeCentroids + full Cost every pass) on the same run. Cost is
+// computed per iteration here, unlike the other ablations: the
+// objective pass is part of what the engine removes.
+func BenchmarkAblationEngineIncremental(b *testing.B) {
+	runAblOpts(b, core.Options{}, true)
+}
+
+func BenchmarkAblationEngineBatch(b *testing.B) {
+	runAblOpts(b, core.Options{DisableIncremental: true}, true)
 }
 
 // Ablation: tie-breaking policy.
@@ -196,3 +219,171 @@ func BenchmarkRunExactKMeans(b *testing.B) { benchNumeric(b, nil) }
 func BenchmarkRunSimHashKMeans(b *testing.B) {
 	benchNumeric(b, &Params{Bands: 12, Rows: 12})
 }
+
+// ---- incremental hot-path engine ----
+
+var (
+	iterOnce sync.Once
+	iterDS   *dataset.Dataset
+)
+
+// iterWorkload is the paper-regime synthetic categorical workload at
+// n=100k used to measure post-bootstrap per-iteration cost. Late
+// iterations move only a handful of items, which is exactly the case
+// the incremental engine targets.
+func iterWorkload(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	iterOnce.Do(func() {
+		ds, err := datagen.Generate(datagen.Config{
+			Items: 100_000, Clusters: 1000, Attrs: 24, Domain: 20000, Seed: 17,
+		})
+		if err != nil {
+			panic(err)
+		}
+		iterDS = ds
+	})
+	return iterDS
+}
+
+// benchIterationUpdate measures one iteration's centroid-update plus
+// objective work after a sparse assignment pass (128 moved items out of
+// 100k): the incremental engine folds the moves and refreshes dirty
+// modes; the batch oracle recomputes every mode and rescans every item.
+// The assignment-pass cost itself is identical for both engines and is
+// excluded, so the ratio isolates the work this PR removes.
+func benchIterationUpdate(b *testing.B, incremental bool) {
+	const k, sparseMoves = 1000, 128
+	ds := iterWorkload(b)
+	n := ds.NumItems()
+	space, err := kmodes.NewSpace(ds, kmodes.Config{K: k, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(rng.Intn(k))
+	}
+	if incremental {
+		space.BeginIncremental(assign, true)
+	} else {
+		space.RecomputeCentroids(assign)
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for j := 0; j < sparseMoves; j++ {
+			item := rng.Intn(n)
+			to := int32(rng.Intn(k))
+			from := assign[item]
+			if to == from {
+				continue
+			}
+			assign[item] = to
+			if incremental {
+				space.ApplyMove(item, from, to)
+			}
+		}
+		if incremental {
+			space.FinishPass(assign)
+			sink = space.IncrementalCost(assign)
+		} else {
+			space.RecomputeCentroids(assign)
+			sink = space.Cost(assign)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkIterationUpdate100kBatch(b *testing.B)       { benchIterationUpdate(b, false) }
+func BenchmarkIterationUpdate100kIncremental(b *testing.B) { benchIterationUpdate(b, true) }
+
+var (
+	signOnce sync.Once
+	signDS   *dataset.Dataset
+)
+
+// signWorkload is a 100k-item workload with a census-like compact value
+// dictionary (the classic K-Modes regime: few hundred distinct values,
+// each occurring tens of thousands of times). This is the regime where
+// the accelerator enables the hash-column memo; sparse or huge
+// dictionaries keep direct hashing (see memoMaxFootprint).
+func signWorkload(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	signOnce.Do(func() {
+		ds, err := datagen.Generate(datagen.Config{
+			Items: 100_000, Clusters: 1000, Attrs: 24, Domain: 200, Seed: 19,
+		})
+		if err != nil {
+			panic(err)
+		}
+		signDS = ds
+	})
+	return signDS
+}
+
+// benchBootstrapSigning measures signing every item — the dominant cost
+// of index construction — with and without the per-value hash-column
+// memo. Each outer iteration uses a fresh memo, so the measured time
+// includes computing every distinct value's column once.
+func benchBootstrapSigning(b *testing.B, memoized bool) {
+	ds := signWorkload(b)
+	params := lsh.Params{Bands: 20, Rows: 5}
+	scheme := minhash.NewScheme(params.SignatureLen(), 7)
+	sig := make([]uint64, params.SignatureLen())
+	var set []uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var memo *minhash.Memo
+		if memoized {
+			memo = scheme.NewMemo(int(ds.MaxValue()) + 1)
+		}
+		for item := 0; item < ds.NumItems(); item++ {
+			set = ds.PresentValues(item, set[:0])
+			if memoized {
+				memo.Sign(set, sig)
+			} else {
+				scheme.Sign(set, sig)
+			}
+		}
+	}
+}
+
+func BenchmarkBootstrapSigningPlain(b *testing.B)    { benchBootstrapSigning(b, false) }
+func BenchmarkBootstrapSigningMemoized(b *testing.B) { benchBootstrapSigning(b, true) }
+
+// benchCandidates measures the recurring per-iteration collision
+// lookup over every indexed item, on the map-based builder layout vs
+// the frozen CSR layout.
+func benchCandidates(b *testing.B, frozen bool) {
+	ds := ablWorkload(b)
+	ix, err := lsh.NewIndex(lsh.Params{Bands: 20, Rows: 5}, 7, ds.NumItems())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var set []uint64
+	for item := 0; item < ds.NumItems(); item++ {
+		set = ds.PresentValues(item, set[:0])
+		if err := ix.Insert(int32(item), set); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if frozen {
+		ix.Freeze()
+	}
+	var hits int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits = 0
+		for item := 0; item < ds.NumItems(); item++ {
+			ix.Candidates(int32(item), func(int32) { hits++ })
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkCandidatesMap(b *testing.B)    { benchCandidates(b, false) }
+func BenchmarkCandidatesFrozen(b *testing.B) { benchCandidates(b, true) }

@@ -34,6 +34,33 @@
 // every cluster for every item — useful for verifying that acceleration
 // preserves quality (the Stats of both runs are directly comparable).
 //
+// # Incremental hot-path engine
+//
+// After bootstrap, per-iteration work is proportional to what actually
+// changed rather than to the dataset:
+//
+//   - Both clustering spaces implement the internal IncrementalSpace
+//     capability: item moves are folded into per-cluster state as they
+//     happen (Huang's frequency-based mode update for K-Modes; running
+//     counts with a dirty-cluster refresh for K-Means), and only the
+//     clusters whose membership changed have their centroids refreshed
+//     at the end of each pass. The per-iteration objective is maintained
+//     incrementally too. The incremental path is exact — bit-identical
+//     assignments, centroids and costs versus the full-recompute batch
+//     path, which is retained as a correctness oracle.
+//
+//   - The MinHash banding index is frozen after bootstrap: its per-band
+//     hash-map buckets are compacted into flat CSR arrays (offsets +
+//     item IDs, with per-item bucket slots resolved up front), so the
+//     recurring collision lookups are allocation-free scans of
+//     contiguous memory. Streaming clusterers keep the unfrozen
+//     map-based builder and may insert indefinitely.
+//
+//   - Bootstrap signing memoizes per-value MinHash columns when the
+//     value dictionary is compact enough to stay cache-resident, so
+//     each distinct categorical value is hashed once instead of once
+//     per occurrence.
+//
 // The cmd/ directory provides datagen (paper-style synthetic workloads),
 // lshcluster (clustering CLI), lshtune (banding-parameter exploration,
 // Tables I–II) and experiments (regenerates every table and figure of

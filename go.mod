@@ -1,0 +1,3 @@
+module lshcluster
+
+go 1.22

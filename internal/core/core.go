@@ -21,6 +21,12 @@
 // exact baseline algorithm (every item compared against every centroid);
 // with an Accelerator it is the paper's accelerated variant, identical
 // except that each item is compared only against its shortlist.
+//
+// Two optional capabilities shrink the per-iteration hot path further
+// without changing results: IncrementalSpace (exact O(moves) centroid
+// and objective maintenance in place of full per-pass recomputation)
+// and Freezer (post-bootstrap compaction of the accelerator's index
+// into a read-optimised layout). See incremental.go.
 package core
 
 import (
@@ -164,6 +170,11 @@ type Options struct {
 	// single-threaded. Requires UpdateDeferred when an Accelerator is
 	// set.
 	Workers int
+	// DisableIncremental forces full RecomputeCentroids/Cost passes
+	// even when the Space implements IncrementalSpace. The batch path
+	// is the correctness oracle for the incremental engine; this switch
+	// exists for equivalence tests and A/B benchmarks.
+	DisableIncremental bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes (progress reporting).
 	OnIteration func(runstats.Iteration)
@@ -220,6 +231,12 @@ func Run(space Space, opts Options) (*Result, error) {
 		}(),
 	}
 
+	if !opts.DisableIncremental {
+		if inc, ok := space.(IncrementalSpace); ok {
+			d.inc = inc
+		}
+	}
+
 	if err := ctxErr(opts.Context); err != nil {
 		return nil, err
 	}
@@ -227,7 +244,17 @@ func Run(space Space, opts Options) (*Result, error) {
 	if err := d.bootstrap(); err != nil {
 		return nil, err
 	}
-	space.RecomputeCentroids(d.assign)
+	// All items are indexed by now; compact the index for the recurring
+	// per-iteration lookups (no-op for accelerators without the
+	// capability).
+	if f, ok := opts.Accelerator.(Freezer); ok {
+		f.Freeze()
+	}
+	if d.inc != nil {
+		d.inc.BeginIncremental(d.assign, !opts.SkipCost)
+	} else {
+		space.RecomputeCentroids(d.assign)
+	}
 	res := &Result{Assign: d.assign}
 	res.Stats.Bootstrap = time.Since(bootStart)
 	res.Stats.Purity = math.NaN()
@@ -238,7 +265,11 @@ func Run(space Space, opts Options) (*Result, error) {
 		}
 		start := time.Now()
 		moves, comps, cands := d.pass()
-		space.RecomputeCentroids(d.assign)
+		if d.inc != nil {
+			d.inc.FinishPass(d.assign)
+		} else {
+			space.RecomputeCentroids(d.assign)
+		}
 		it := runstats.Iteration{
 			Index:           iter,
 			Duration:        time.Since(start),
@@ -249,7 +280,11 @@ func Run(space Space, opts Options) (*Result, error) {
 			Cost:            math.NaN(),
 		}
 		if !opts.SkipCost {
-			it.Cost = space.Cost(d.assign)
+			if d.inc != nil {
+				it.Cost = d.inc.IncrementalCost(d.assign)
+			} else {
+				it.Cost = space.Cost(d.assign)
+			}
 		}
 		res.Stats.Iterations = append(res.Stats.Iterations, it)
 		if opts.OnIteration != nil {
@@ -277,6 +312,10 @@ type driver struct {
 	n, k    int
 	assign  []int32
 	querier Querier
+	// inc is non-nil when the space implements IncrementalSpace and the
+	// incremental engine is enabled; passes then feed it moves instead
+	// of relying on full centroid recomputation.
+	inc IncrementalSpace
 	// snapshot holds the pass-start assignment under UpdateDeferred.
 	snapshot []int32
 }
@@ -489,6 +528,12 @@ func (d *driver) pass() (moves int, comps, cands int64) {
 			// reference in the MinHash index": buckets store item IDs
 			// and queries map them through this slice.
 			d.assign[i] = best
+			if d.inc != nil {
+				// Immediate mode: fold the move in as it happens.
+				// Visible centroids stay frozen until FinishPass, so
+				// this cannot perturb later decisions in the pass.
+				d.inc.ApplyMove(i, cur, best)
+			}
 			moves++
 		}
 	}
@@ -505,6 +550,9 @@ func (d *driver) exactPass() (moves int, comps, cands int64) {
 		cands += int64(d.k)
 		if best != cur {
 			d.assign[i] = best
+			if d.inc != nil {
+				d.inc.ApplyMove(i, cur, best)
+			}
 			moves++
 		}
 	}
@@ -518,6 +566,7 @@ func (d *driver) parallelPass(view []int32) (moves int, comps, cands int64) {
 	type counters struct {
 		moves        int
 		comps, cands int64
+		moved        []moveRec
 	}
 	w := d.opts.Workers
 	res := make([]counters, w)
@@ -540,6 +589,9 @@ func (d *driver) parallelPass(view []int32) (moves int, comps, cands int64) {
 				best := d.bestOf(i, int(cur), shortlist, &c.comps)
 				if best != cur {
 					d.assign[i] = best
+					if d.inc != nil {
+						c.moved = append(c.moved, moveRec{int32(i), cur, best})
+					}
 					c.moves++
 				}
 			}
@@ -551,13 +603,30 @@ func (d *driver) parallelPass(view []int32) (moves int, comps, cands int64) {
 		comps += c.comps
 		cands += c.cands
 	}
+	d.applyMoveLogs(w, func(g int) []moveRec { return res[g].moved })
 	return moves, comps, cands
+}
+
+// applyMoveLogs replays per-worker move batches into the incremental
+// space after a parallel pass joins. Worker ranges are contiguous and
+// ascending, so replaying workers in order applies moves in ascending
+// item order — the same order the single-threaded pass uses.
+func (d *driver) applyMoveLogs(w int, log func(g int) []moveRec) {
+	if d.inc == nil {
+		return
+	}
+	for g := 0; g < w; g++ {
+		for _, mv := range log(g) {
+			d.inc.ApplyMove(int(mv.item), mv.from, mv.to)
+		}
+	}
 }
 
 func (d *driver) parallelExactPass() (moves int, comps, cands int64) {
 	type counters struct {
 		moves        int
 		comps, cands int64
+		moved        []moveRec
 	}
 	w := d.opts.Workers
 	res := make([]counters, w)
@@ -578,6 +647,9 @@ func (d *driver) parallelExactPass() (moves int, comps, cands int64) {
 				c.cands += int64(d.k)
 				if best != cur {
 					d.assign[i] = best
+					if d.inc != nil {
+						c.moved = append(c.moved, moveRec{int32(i), cur, best})
+					}
 					c.moves++
 				}
 			}
@@ -589,5 +661,6 @@ func (d *driver) parallelExactPass() (moves int, comps, cands int64) {
 		comps += c.comps
 		cands += c.cands
 	}
+	d.applyMoveLogs(w, func(g int) []moveRec { return res[g].moved })
 	return moves, comps, cands
 }

@@ -5,6 +5,7 @@ import (
 
 	"lshcluster/internal/dataset"
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/minhash"
 )
 
 // MinHashAccelerator implements Accelerator with the MinHash banding
@@ -19,7 +20,10 @@ type MinHashAccelerator struct {
 	seed   uint64
 	index  *lsh.Index
 	k      int
+	maxVal dataset.Value
+	memo   *minhash.Memo
 	setBuf []uint64
+	sigBuf []uint64
 }
 
 // NewMinHashAccelerator creates an accelerator for ds with the given
@@ -28,7 +32,13 @@ func NewMinHashAccelerator(ds *dataset.Dataset, params lsh.Params, seed uint64) 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &MinHashAccelerator{ds: ds, params: params, seed: seed}, nil
+	return &MinHashAccelerator{
+		ds:     ds,
+		params: params,
+		seed:   seed,
+		// Sizes the hash-column memo: interned value IDs are dense.
+		maxVal: ds.MaxValue(),
+	}, nil
 }
 
 // Params returns the banding configuration.
@@ -49,16 +59,52 @@ func (a *MinHashAccelerator) Reset(numClusters int) error {
 	}
 	a.index = ix
 	a.k = numClusters
+	// Categorical values repeat across items, so each distinct value's
+	// hash column can be computed once and signing becomes element-wise
+	// mins over cached columns — identical signatures, far cheaper
+	// bootstrap. Memoisation only pays when values actually repeat AND
+	// the column table stays cache-resident (min-scans over a table
+	// that spills past L2 lose to re-hashing in registers); gate on
+	// both, falling back to direct hashing otherwise.
+	a.memo = nil
+	occurrences := int64(a.ds.NumItems()) * int64(a.ds.NumAttrs())
+	footprint := (int64(a.maxVal) + 1) * int64(a.params.SignatureLen()) * 8
+	if occurrences >= memoMinReuse*(int64(a.maxVal)+1) && footprint <= memoMaxFootprint {
+		a.memo = ix.Scheme().NewMemo(int(a.maxVal) + 1)
+	}
+	a.sigBuf = make([]uint64, a.params.SignatureLen())
 	return nil
 }
 
-// Insert MinHashes item and files it under its band buckets.
+// memoMinReuse is the minimum mean occurrences-per-distinct-value at
+// which the hash-column memo is enabled: below it the one-off column
+// computation outweighs the per-occurrence saving.
+const memoMinReuse = 8
+
+// memoMaxFootprint caps the memo column table at a cache-resident size.
+// Measured on the synthetic workload (sig len 100), signing is ~2.3×
+// faster at an 80 KB table, ~1.3× at 800 KB, and ~1.1× *slower* at
+// 1.6 MB, so 1 MB is the crossover-safe bound.
+const memoMaxFootprint = 1 << 20
+
+// Insert MinHashes item (via the memoized hash columns when the value
+// dictionary is dense enough) and files it under its band buckets.
 func (a *MinHashAccelerator) Insert(item int32) error {
 	if a.index == nil {
 		return fmt.Errorf("core: Insert before Reset")
 	}
 	a.setBuf = a.ds.PresentValues(int(item), a.setBuf[:0])
+	if a.memo != nil {
+		return a.index.InsertSignature(item, a.memo.Sign(a.setBuf, a.sigBuf))
+	}
 	return a.index.Insert(item, a.setBuf)
+}
+
+// Freeze compacts the index for the iteration phase (core.Freezer).
+func (a *MinHashAccelerator) Freeze() {
+	if a.index != nil {
+		a.index.Freeze()
+	}
 }
 
 // NewQuerier returns a query handle with its own deduplication scratch.

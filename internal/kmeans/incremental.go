@@ -1,0 +1,142 @@
+package kmeans
+
+// This file implements core.IncrementalSpace for the K-Means space:
+// running member counts plus a dirty-cluster centroid refresh, so that
+// after bootstrap each iteration costs O(n) for a light membership scan
+// plus O(dirty-members·dim) for the refresh, instead of the full
+// O(n·dim) RecomputeCentroids + O(n·dim) Cost the batch path pays.
+//
+// Exactness contract: bit-identical centroids and cost versus the batch
+// path. Floating-point addition is not associative, so a dirty
+// cluster's sum is NOT maintained as a running ± delta — it is
+// re-accumulated over that cluster's members in ascending item order,
+// the exact order RecomputeCentroids uses. Clean clusters keep their
+// previous centroid, which equals what a from-scratch recompute would
+// produce (same members, same order). The cost is likewise the sum of
+// cached per-item distances in ascending item order, matching Cost's
+// accumulation order exactly.
+
+// incremental is the engine state attached to a Space.
+type incremental struct {
+	counts    []int32 // running member counts (exact integers)
+	dirty     []bool
+	dirtyList []int32
+	members   []int32 // scratch: members of dirty clusters, item order
+	trackCost bool
+	itemCost  []float64 // cached Dissimilarity(i, assign[i])
+}
+
+// BeginIncremental initialises incremental state from a complete
+// assignment. It delegates the initial centroid computation (and the
+// empty-cluster policy, with identical rand draws) to
+// RecomputeCentroids, then snapshots the member counts.
+func (s *Space) BeginIncremental(assign []int32, trackCost bool) {
+	s.RecomputeCentroids(assign)
+	inc := s.inc
+	if inc == nil {
+		inc = &incremental{}
+		s.inc = inc
+	}
+	inc.counts = append(inc.counts[:0], s.counts...)
+	inc.dirty = make([]bool, s.k)
+	inc.dirtyList = inc.dirtyList[:0]
+	inc.trackCost = trackCost
+	if trackCost {
+		n := s.NumItems()
+		if cap(inc.itemCost) < n {
+			inc.itemCost = make([]float64, n)
+		}
+		inc.itemCost = inc.itemCost[:n]
+		for i, c := range assign {
+			inc.itemCost[i] = s.Dissimilarity(i, int(c))
+		}
+	}
+}
+
+// ApplyMove updates the running counts and marks both clusters dirty.
+// Centroids and cached distances are refreshed at FinishPass (the moved
+// item's new cluster is dirty, so its distance is re-cached there).
+func (s *Space) ApplyMove(item int, from, to int32) {
+	inc := s.inc
+	inc.counts[from]--
+	inc.counts[to]++
+	s.markDirty(from)
+	s.markDirty(to)
+}
+
+func (s *Space) markDirty(c int32) {
+	if !s.inc.dirty[c] {
+		s.inc.dirty[c] = true
+		s.inc.dirtyList = append(s.inc.dirtyList, c)
+	}
+}
+
+// FinishPass re-accumulates the sums of dirty clusters in ascending
+// item order and refreshes only their centroids — the incremental
+// equivalent of RecomputeCentroids(assign).
+func (s *Space) FinishPass(assign []int32) {
+	inc := s.inc
+	if s.policy == ReseedRandomPoint {
+		// The batch path redraws a random point for every empty cluster
+		// on every recompute, dirty or not; replay that draw-for-draw.
+		for c := 0; c < s.k; c++ {
+			if inc.counts[c] == 0 {
+				copy(s.centroid(c), s.Point(s.rng.Intn(s.NumItems())))
+			}
+		}
+	}
+	if len(inc.dirtyList) == 0 {
+		return
+	}
+	for _, c := range inc.dirtyList {
+		dst := s.sums[int(c)*s.dim : (int(c)+1)*s.dim]
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+	inc.members = inc.members[:0]
+	for i, c := range assign {
+		if inc.dirty[c] {
+			p := s.Point(i)
+			dst := s.sums[int(c)*s.dim : (int(c)+1)*s.dim]
+			for j := range p {
+				dst[j] += p[j]
+			}
+			inc.members = append(inc.members, int32(i))
+		}
+	}
+	for _, c := range inc.dirtyList {
+		if inc.counts[c] == 0 {
+			continue // KeepCentroid, or already reseeded above
+		}
+		dst := s.centroid(int(c))
+		src := s.sums[int(c)*s.dim : (int(c)+1)*s.dim]
+		inv := 1 / float64(inc.counts[c])
+		for j := range dst {
+			dst[j] = src[j] * inv
+		}
+	}
+	if inc.trackCost {
+		for _, i := range inc.members {
+			inc.itemCost[i] = s.Dissimilarity(int(i), int(assign[i]))
+		}
+	}
+	for _, c := range inc.dirtyList {
+		inc.dirty[c] = false
+	}
+	inc.dirtyList = inc.dirtyList[:0]
+}
+
+// IncrementalCost returns the K-Means objective under assign by summing
+// the cached per-item distances in ascending item order — O(n) adds
+// with no distance evaluations, bit-identical to Cost(assign).
+func (s *Space) IncrementalCost(assign []int32) float64 {
+	if s.inc == nil || !s.inc.trackCost {
+		return s.Cost(assign)
+	}
+	var total float64
+	for _, d := range s.inc.itemCost {
+		total += d
+	}
+	return total
+}

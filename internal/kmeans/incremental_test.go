@@ -1,0 +1,112 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalBitIdenticalToBatch drives a long stateful move
+// sequence and asserts, after every pass, bit-identical centroids and
+// cost versus a from-scratch recompute on an oracle space — the
+// floating-point claim the dirty-cluster refresh is designed around
+// (per-cluster sums re-accumulated in ascending item order, never
+// maintained as ± deltas).
+func TestIncrementalBitIdenticalToBatch(t *testing.T) {
+	const n, k, dim = 150, 10, 5
+	rng := rand.New(rand.NewSource(77))
+	pts := make([]float64, n*dim)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	seeds := make([]int32, k)
+	for c := range seeds {
+		seeds[c] = int32(c)
+	}
+	mk := func() *Space {
+		s, err := NewSpaceFromSeeds(pts, dim, seeds, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s, oracle := mk(), mk()
+
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(i % k)
+	}
+	s.BeginIncremental(assign, true)
+	oracle.RecomputeCentroids(assign)
+
+	for pass := 0; pass < 25; pass++ {
+		for j := 0; j < 6; j++ {
+			item := rng.Intn(n)
+			to := int32(rng.Intn(k))
+			from := assign[item]
+			if to == from {
+				continue
+			}
+			assign[item] = to
+			s.ApplyMove(item, from, to)
+		}
+		s.FinishPass(assign)
+		oracle.RecomputeCentroids(assign)
+		for c := 0; c < k; c++ {
+			gc, wc := s.Centroid(c), oracle.Centroid(c)
+			for j := range gc {
+				if gc[j] != wc[j] {
+					t.Fatalf("pass %d cluster %d dim %d: incremental %v, batch %v (diff %g)",
+						pass, c, j, gc[j], wc[j], gc[j]-wc[j])
+				}
+			}
+		}
+		if got, want := s.IncrementalCost(assign), oracle.Cost(assign); got != want {
+			t.Fatalf("pass %d: incremental cost %v, batch %v", pass, got, want)
+		}
+	}
+}
+
+// TestIncrementalEmptiedCluster checks KeepCentroid semantics when a
+// cluster loses all members mid-run: the centroid must stay exactly
+// where the previous pass left it, and refilling must be exact.
+func TestIncrementalEmptiedCluster(t *testing.T) {
+	pts := []float64{0, 0, 1, 1, 10, 10, 11, 11}
+	seeds := []int32{0, 2}
+	mk := func() *Space {
+		s, err := NewSpaceFromSeeds(pts, 2, seeds, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s, oracle := mk(), mk()
+	assign := []int32{0, 0, 1, 1}
+	s.BeginIncremental(assign, true)
+	oracle.RecomputeCentroids(assign)
+
+	histories := [][]int32{
+		{1, 1, 1, 1}, // cluster 0 drains
+		{0, 1, 1, 1}, // and refills
+	}
+	for _, next := range histories {
+		for i := range next {
+			if assign[i] != next[i] {
+				s.ApplyMove(i, assign[i], next[i])
+				assign[i] = next[i]
+			}
+		}
+		s.FinishPass(assign)
+		oracle.RecomputeCentroids(assign)
+		for c := 0; c < 2; c++ {
+			gc, wc := s.Centroid(c), oracle.Centroid(c)
+			for j := range gc {
+				if gc[j] != wc[j] {
+					t.Fatalf("cluster %d dim %d: incremental %v, batch %v", c, j, gc[j], wc[j])
+				}
+			}
+		}
+		if got, want := s.IncrementalCost(assign), oracle.Cost(assign); got != want {
+			t.Fatalf("incremental cost %v, batch %v", got, want)
+		}
+	}
+}

@@ -44,6 +44,10 @@ type Space struct {
 	rng       *rand.Rand
 	sums      []float64
 	counts    []int32
+
+	// inc holds the incremental engine state (core.IncrementalSpace);
+	// nil until BeginIncremental.
+	inc *incremental
 }
 
 // NewSpace picks cfg.K distinct random points as initial centroids.

@@ -1,0 +1,137 @@
+package kmodes
+
+import (
+	"testing"
+
+	"lshcluster/internal/dataset"
+)
+
+// incTestSpace builds a tiny space over explicit rows with the first k
+// items as seeds.
+func incTestSpace(t *testing.T, rows [][]dataset.Value, k int, policy EmptyClusterPolicy) *Space {
+	t.Helper()
+	m := len(rows[0])
+	values := make([]dataset.Value, 0, len(rows)*m)
+	for _, r := range rows {
+		values = append(values, r...)
+	}
+	ds, err := dataset.New(make([]string, m), values, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]int32, k)
+	for c := range seeds {
+		seeds[c] = int32(c)
+	}
+	s, err := NewSpaceFromSeeds(ds, seeds, Config{EmptyCluster: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEmptiedClusterKeepsPreviousPassMode pins the subtle KeepMode case:
+// when a cluster loses all members during a pass, the batch path keeps
+// the mode of the *previous* pass (computed from the then-members),
+// while naive FreqTable removal would leave per-attribute leftovers of
+// the removal order. FinishPass must restore batch semantics.
+func TestEmptiedClusterKeepsPreviousPassMode(t *testing.T) {
+	// Cluster 0 members hold values {1, 2} on the single attribute:
+	// previous-pass mode is 1 (tie to the smaller value). Removing item
+	// 0 (value 1) then item 2 (value 2) would leave a FreqTable
+	// leftover of 2.
+	rows := [][]dataset.Value{{1}, {9}, {2}}
+	s := incTestSpace(t, rows, 2, KeepMode)
+	assign := []int32{0, 1, 0}
+	s.BeginIncremental(assign, true)
+	if got := s.Mode(0)[0]; got != dataset.Value(1) {
+		t.Fatalf("initial mode = %d, want 1", got)
+	}
+
+	// Batch oracle over the same assignment history.
+	oracle := incTestSpace(t, rows, 2, KeepMode)
+	oracle.RecomputeCentroids(assign)
+
+	// Move both members of cluster 0 to cluster 1, emptying it.
+	next := []int32{1, 1, 1}
+	s.ApplyMove(0, 0, 1)
+	s.ApplyMove(2, 0, 1)
+	s.FinishPass(next)
+	oracle.RecomputeCentroids(next)
+
+	if got, want := s.Mode(0)[0], oracle.Mode(0)[0]; got != want {
+		t.Fatalf("emptied cluster mode = %d, batch keeps %d", got, want)
+	}
+	if got, want := s.IncrementalCost(next), oracle.Cost(next); got != want {
+		t.Fatalf("incremental cost = %v, batch %v", got, want)
+	}
+
+	// The emptied cluster must be able to attract and absorb members
+	// again with exact mode maintenance.
+	again := []int32{0, 1, 1}
+	s.ApplyMove(0, 1, 0)
+	s.FinishPass(again)
+	oracle.RecomputeCentroids(again)
+	if got, want := s.Mode(0)[0], oracle.Mode(0)[0]; got != want {
+		t.Fatalf("refilled cluster mode = %d, batch %d", got, want)
+	}
+	if got, want := s.IncrementalCost(again), oracle.Cost(again); got != want {
+		t.Fatalf("refilled incremental cost = %v, batch %v", got, want)
+	}
+}
+
+// TestIncrementalRandomMoveSequence fuzzes a longer stateful move
+// sequence against the batch oracle, pass by pass.
+func TestIncrementalRandomMoveSequence(t *testing.T) {
+	const n, k, m = 120, 8, 6
+	rows := make([][]dataset.Value, n)
+	// Deterministic pseudo-data with heavy value reuse so modes tie
+	// and shift often.
+	x := uint64(1)
+	for i := range rows {
+		r := make([]dataset.Value, m)
+		for a := range r {
+			x = x*6364136223846793005 + 1442695040888963407
+			r[a] = dataset.Value(1 + (x>>33)%5)
+		}
+		rows[i] = r
+	}
+	s := incTestSpace(t, rows, k, KeepMode)
+	oracle := incTestSpace(t, rows, k, KeepMode)
+
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(i % k)
+	}
+	s.BeginIncremental(assign, true)
+	oracle.RecomputeCentroids(assign)
+
+	for pass := 0; pass < 30; pass++ {
+		// A handful of pseudo-random moves per pass.
+		for j := 0; j < 7; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			item := int((x >> 33) % n)
+			to := int32((x >> 13) % k)
+			from := assign[item]
+			if to == from {
+				continue
+			}
+			assign[item] = to
+			s.ApplyMove(item, from, to)
+		}
+		s.FinishPass(assign)
+		oracle.RecomputeCentroids(assign)
+		for c := 0; c < k; c++ {
+			gm, wm := s.Mode(c), oracle.Mode(c)
+			for a := range gm {
+				if gm[a] != wm[a] {
+					t.Fatalf("pass %d cluster %d attr %d: incremental %d, batch %d",
+						pass, c, a, gm[a], wm[a])
+				}
+			}
+		}
+		if got, want := s.IncrementalCost(assign), oracle.Cost(assign); got != want {
+			t.Fatalf("pass %d: incremental cost %v, batch %v", pass, got, want)
+		}
+	}
+}

@@ -57,6 +57,10 @@ type Space struct {
 	members  [][]int32
 	freq     map[dataset.Value]int32
 	sizesBuf []int32
+
+	// inc holds the FreqTable-backed incremental engine state
+	// (core.IncrementalSpace); nil until BeginIncremental.
+	inc *incremental
 }
 
 // NewSpace selects cfg.K distinct random items as initial modes (the

@@ -1,0 +1,130 @@
+package lsh
+
+// Frozen index layout. Freeze compacts the map-based band buckets into
+// flat CSR arrays — a concatenation of every bucket's item IDs plus an
+// offsets array — so the per-iteration Candidates lookups walk
+// contiguous memory instead of chasing map buckets. Two access paths
+// are built:
+//
+//   - slots[item·bands+band] resolves an *inserted* item directly to
+//     its bucket (no hashing at query time): the hot path of the
+//     clustering iteration.
+//   - an open-addressed key→bucket table per band serves
+//     CandidatesOfSet queries for items outside the index (streaming
+//     assignment against a frozen batch index).
+//
+// Bucket IDs are global across bands; each band's buckets occupy a
+// contiguous ID range, and every bucket's item order is preserved from
+// the build phase, so frozen and unfrozen queries enumerate candidates
+// in the identical order.
+type frozenIndex struct {
+	offsets []int32 // len totalBuckets+1; bucket s holds items[offsets[s]:offsets[s+1]]
+	items   []int32 // all buckets' item IDs, concatenated
+	slots   []int32 // item·bands+band → bucket ID; -1 when not inserted
+	tables  []keyTable
+}
+
+// keyTable is a linear-probing open-addressed map from a band key to a
+// global bucket ID. Band keys are already avalanche-mixed 64-bit
+// hashes, so the raw key masks directly into the table. Load factor is
+// kept ≤ 0.5, guaranteeing probe termination.
+type keyTable struct {
+	keys  []uint64
+	slots []int32 // -1 = empty
+	mask  uint64
+}
+
+func newKeyTable(numKeys int) keyTable {
+	size := 2
+	for size < 2*numKeys {
+		size *= 2
+	}
+	t := keyTable{
+		keys:  make([]uint64, size),
+		slots: make([]int32, size),
+		mask:  uint64(size - 1),
+	}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	return t
+}
+
+func (t *keyTable) put(key uint64, slot int32) {
+	i := key & t.mask
+	for t.slots[i] >= 0 {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = key
+	t.slots[i] = slot
+}
+
+// get returns the bucket ID filed under key, or -1.
+func (t *keyTable) get(key uint64) int32 {
+	i := key & t.mask
+	for {
+		s := t.slots[i]
+		if s < 0 || t.keys[i] == key {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Frozen reports whether the index has been compacted.
+func (ix *Index) Frozen() bool { return ix.frozen != nil }
+
+// Freeze compacts the map-based buckets into the flat CSR layout and
+// releases the build-phase storage. After Freeze the index is
+// immutable: Insert returns an error, queries are allocation-free and
+// return exactly what they returned before freezing (same candidates,
+// same enumeration order). Freeze is idempotent.
+//
+// Batch clustering calls this once after bootstrap (via the
+// core.Freezer capability); the streaming clusterer, which inserts for
+// the lifetime of the stream, never does.
+func (ix *Index) Freeze() {
+	if ix.frozen != nil {
+		return
+	}
+	bands := ix.params.Bands
+	totalBuckets, totalItems := 0, 0
+	for _, band := range ix.buckets {
+		totalBuckets += len(band)
+		for _, items := range band {
+			totalItems += len(items)
+		}
+	}
+	fz := &frozenIndex{
+		offsets: make([]int32, 1, totalBuckets+1),
+		items:   make([]int32, 0, totalItems),
+		tables:  make([]keyTable, bands),
+	}
+	bucketID := int32(0)
+	for b, band := range ix.buckets {
+		tbl := newKeyTable(len(band))
+		for key, items := range band {
+			fz.items = append(fz.items, items...)
+			fz.offsets = append(fz.offsets, int32(len(fz.items)))
+			tbl.put(key, bucketID)
+			bucketID++
+		}
+		fz.tables[b] = tbl
+	}
+	fz.slots = make([]int32, len(ix.inserted)*bands)
+	for item, ok := range ix.inserted {
+		base := item * bands
+		if !ok {
+			for b := 0; b < bands; b++ {
+				fz.slots[base+b] = -1
+			}
+			continue
+		}
+		for b := 0; b < bands; b++ {
+			fz.slots[base+b] = fz.tables[b].get(ix.keys[base+b])
+		}
+	}
+	ix.frozen = fz
+	ix.buckets = nil // release the build-phase maps
+	ix.keys = nil
+}

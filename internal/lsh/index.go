@@ -20,8 +20,15 @@ import (
 // time, "updating the reference" after a move is a single slice store —
 // exactly the O(1) pointer update described in §III-B.
 //
+// The index has a two-phase lifecycle: a map-based *build* phase that
+// accepts streaming inserts, and an optional *frozen* phase (Freeze)
+// that compacts the buckets into flat CSR arrays for cache-friendly,
+// allocation-free candidate lookups during iteration. Batch clustering
+// freezes after bootstrap; the streaming clusterer keeps inserting and
+// never freezes.
+//
 // An Index is not safe for concurrent mutation. Concurrent queries are
-// safe once all insertions are done.
+// safe once all insertions (or Freeze) are done.
 type Index struct {
 	params Params
 	scheme *minhash.Scheme
@@ -29,13 +36,18 @@ type Index struct {
 	// signature hashed to it. Separate maps per band implement the
 	// paper's requirement that "there will be b sets of buckets to map
 	// to, one set for each band so no overlapping between bands can
-	// occur"; keys are additionally salted with the band number.
+	// occur"; keys are additionally salted with the band number. Nil
+	// once frozen.
 	buckets []map[uint64][]int32
 	// keys[item·bands+band] is the stored band key of an inserted item.
-	keys     []uint64
-	inserted []bool
-	setBuf   []uint64
-	sigBuf   []uint64
+	// Nil once frozen (the frozen layout resolves items to bucket slots
+	// directly).
+	keys        []uint64
+	inserted    []bool
+	numInserted int
+	frozen      *frozenIndex
+	setBuf      []uint64
+	sigBuf      []uint64
 }
 
 // NewIndex creates an index for the given banding parameters, seeded
@@ -69,16 +81,9 @@ func (ix *Index) Params() Params { return ix.params }
 // estimation diagnostics).
 func (ix *Index) Scheme() *minhash.Scheme { return ix.scheme }
 
-// NumInserted returns how many items have been inserted.
-func (ix *Index) NumInserted() int {
-	n := 0
-	for _, in := range ix.inserted {
-		if in {
-			n++
-		}
-	}
-	return n
-}
+// NumInserted returns how many items have been inserted. O(1): the
+// count is maintained on insert rather than scanned.
+func (ix *Index) NumInserted() int { return ix.numInserted }
 
 // bandKey hashes rows [band·r, (band+1)·r) of sig into a salted 64-bit
 // bucket key.
@@ -109,6 +114,9 @@ func (ix *Index) InsertSignature(item int32, sig []uint64) error {
 	if len(sig) != ix.params.SignatureLen() {
 		return fmt.Errorf("lsh: signature length %d, want %d", len(sig), ix.params.SignatureLen())
 	}
+	if ix.frozen != nil {
+		return fmt.Errorf("lsh: index is frozen")
+	}
 	ix.grow(int(item) + 1)
 	if ix.inserted[item] {
 		return fmt.Errorf("lsh: item %d already inserted", item)
@@ -120,19 +128,27 @@ func (ix *Index) InsertSignature(item int32, sig []uint64) error {
 		ix.buckets[b][key] = append(ix.buckets[b][key], item)
 	}
 	ix.inserted[item] = true
+	ix.numInserted++
 	return nil
 }
 
+// grow extends the per-item storage to hold at least n items, doubling
+// capacity so a stream of ascending inserts stays amortised O(1). The
+// extra tail entries are simply "not inserted".
 func (ix *Index) grow(n int) {
 	if n <= len(ix.inserted) {
 		return
 	}
-	for len(ix.inserted) < n {
-		ix.inserted = append(ix.inserted, false)
-		for i := 0; i < ix.params.Bands; i++ {
-			ix.keys = append(ix.keys, 0)
-		}
+	newLen := 2 * len(ix.inserted)
+	if newLen < n {
+		newLen = n
 	}
+	inserted := make([]bool, newLen)
+	copy(inserted, ix.inserted)
+	ix.inserted = inserted
+	keys := make([]uint64, newLen*ix.params.Bands)
+	copy(keys, ix.keys)
+	ix.keys = keys
 }
 
 // Candidates invokes fn for every item sharing at least one band bucket
@@ -142,6 +158,19 @@ func (ix *Index) grow(n int) {
 // the shortlist construction does anyway while mapping items to clusters.
 func (ix *Index) Candidates(item int32, fn func(other int32)) {
 	if int(item) >= len(ix.inserted) || !ix.inserted[item] {
+		return
+	}
+	if fz := ix.frozen; fz != nil {
+		// Frozen fast path: the item's bucket slots were resolved at
+		// Freeze time, so each band is two array reads plus a
+		// contiguous scan — no hashing, no map probes, no allocation.
+		base := int(item) * ix.params.Bands
+		for b := 0; b < ix.params.Bands; b++ {
+			slot := fz.slots[base+b]
+			for _, other := range fz.items[fz.offsets[slot]:fz.offsets[slot+1]] {
+				fn(other)
+			}
+		}
 		return
 	}
 	base := int(item) * ix.params.Bands
@@ -158,6 +187,18 @@ func (ix *Index) Candidates(item int32, fn func(other int32)) {
 // items in a streaming setting.
 func (ix *Index) CandidatesOfSet(presentValues []uint64, fn func(other int32)) {
 	sig := ix.scheme.Sign(presentValues, ix.sigBuf)
+	if fz := ix.frozen; fz != nil {
+		for b := 0; b < ix.params.Bands; b++ {
+			slot := fz.tables[b].get(ix.bandKey(sig, b))
+			if slot < 0 {
+				continue
+			}
+			for _, other := range fz.items[fz.offsets[slot]:fz.offsets[slot+1]] {
+				fn(other)
+			}
+		}
+		return
+	}
 	for b := 0; b < ix.params.Bands; b++ {
 		for _, other := range ix.buckets[b][ix.bandKey(sig, b)] {
 			fn(other)
@@ -180,15 +221,24 @@ func (ix *Index) Stats() Stats {
 	st := Stats{Bands: ix.params.Bands, Items: ix.NumInserted()}
 	singles := 0
 	total := 0
-	for _, band := range ix.buckets {
-		for _, items := range band {
-			st.Buckets++
-			total += len(items)
-			if len(items) > st.MaxBucketLen {
-				st.MaxBucketLen = len(items)
-			}
-			if len(items) == 1 {
-				singles++
+	bucketLen := func(n int) {
+		st.Buckets++
+		total += n
+		if n > st.MaxBucketLen {
+			st.MaxBucketLen = n
+		}
+		if n == 1 {
+			singles++
+		}
+	}
+	if fz := ix.frozen; fz != nil {
+		for s := 0; s+1 < len(fz.offsets); s++ {
+			bucketLen(int(fz.offsets[s+1] - fz.offsets[s]))
+		}
+	} else {
+		for _, band := range ix.buckets {
+			for _, items := range band {
+				bucketLen(len(items))
 			}
 		}
 	}

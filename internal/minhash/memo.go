@@ -1,0 +1,101 @@
+package minhash
+
+// Memo caches the per-element hash column (h_1(x) … h_n(x)) of a
+// Scheme. Categorical datasets repeat the same interned value across
+// many items, so during bootstrap indexing each distinct value's column
+// can be computed once and every later occurrence reduced to an
+// element-wise min over the cached column — compares instead of
+// multiply-mod hashing. Signatures are bit-identical to Scheme.Sign.
+//
+// Columns are stored in a slice indexed by element ID, which interned
+// dataset values keep dense; IDs beyond memoLimit are hashed directly
+// without caching so a pathological sparse ID cannot balloon memory.
+//
+// A Memo is NOT safe for concurrent use (it mutates its cache); create
+// one per signing goroutine.
+type Memo struct {
+	scheme *Scheme
+	cols   [][]uint64
+	// arena slab-allocates columns (arenaCols at a time) so memoising a
+	// large dictionary does not cost one heap allocation per value.
+	arena []uint64
+}
+
+// arenaCols is how many columns each arena slab holds.
+const arenaCols = 256
+
+// memoLimit caps the memo table length; elements with IDs at or above
+// it are hashed directly on every occurrence.
+const memoLimit = 1 << 26
+
+// NewMemo returns an empty memo over the scheme. capacityHint pre-sizes
+// the table for the largest expected element ID (e.g. the dataset's max
+// interned value + 1); it may be 0.
+func (s *Scheme) NewMemo(capacityHint int) *Memo {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	if capacityHint > memoLimit {
+		capacityHint = memoLimit
+	}
+	return &Memo{scheme: s, cols: make([][]uint64, capacityHint)}
+}
+
+// Sign computes the MinHash signature of set into dst and returns dst,
+// exactly as Scheme.Sign would, memoizing each distinct element's hash
+// column along the way.
+func (m *Memo) Sign(set []uint64, dst []uint64) []uint64 {
+	if len(dst) != m.scheme.SignatureLen() {
+		panic("minhash: Sign dst length mismatch")
+	}
+	for i := range dst {
+		dst[i] = EmptySlot
+	}
+	for _, x := range set {
+		col := m.col(x)
+		for i, h := range col {
+			if h < dst[i] {
+				dst[i] = h
+			}
+		}
+	}
+	return dst
+}
+
+// col returns the cached hash column for x, computing it on first use.
+func (m *Memo) col(x uint64) []uint64 {
+	if x < uint64(len(m.cols)) {
+		if c := m.cols[x]; c != nil {
+			return c
+		}
+	} else if x < memoLimit {
+		// Double on growth so ascending IDs stay amortised O(1).
+		newLen := 2 * len(m.cols)
+		if newLen < int(x)+1 {
+			newLen = int(x) + 1
+		}
+		if newLen > memoLimit {
+			newLen = memoLimit
+		}
+		grown := make([][]uint64, newLen)
+		copy(grown, m.cols)
+		m.cols = grown
+	} else {
+		// Out-of-range ID: hash without caching.
+		return m.scheme.fam.HashAll(x, make([]uint64, m.scheme.SignatureLen()))
+	}
+	c := m.scheme.fam.HashAll(x, m.newCol())
+	m.cols[x] = c
+	return c
+}
+
+// newCol carves one column out of the current arena slab.
+func (m *Memo) newCol() []uint64 {
+	n := m.scheme.SignatureLen()
+	if len(m.arena) < n {
+		m.arena = make([]uint64, arenaCols*n)
+	}
+	c := m.arena[:n:n]
+	m.arena = m.arena[n:]
+	return c
+}

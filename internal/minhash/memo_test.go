@@ -1,0 +1,66 @@
+package minhash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMemoSignMatchesScheme pins the memo's contract: bit-identical
+// signatures to Scheme.Sign for arbitrary sets, across repeated use of
+// one memo (warm and cold columns).
+func TestMemoSignMatchesScheme(t *testing.T) {
+	s := NewScheme(40, 1234)
+	memo := s.NewMemo(64)
+	rng := rand.New(rand.NewSource(5))
+	got := make([]uint64, s.SignatureLen())
+	want := make([]uint64, s.SignatureLen())
+	for trial := 0; trial < 200; trial++ {
+		set := make([]uint64, rng.Intn(20))
+		for i := range set {
+			// Mix small IDs (memoised, heavily repeated) with IDs past
+			// the capacity hint (forces table growth).
+			if rng.Intn(2) == 0 {
+				set[i] = uint64(rng.Intn(30))
+			} else {
+				set[i] = uint64(rng.Intn(5000))
+			}
+		}
+		memo.Sign(set, got)
+		s.Sign(set, want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d position %d: memo %d, scheme %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMemoSignEmptySet(t *testing.T) {
+	s := NewScheme(8, 9)
+	memo := s.NewMemo(0)
+	dst := make([]uint64, 8)
+	memo.Sign(nil, dst)
+	for i, v := range dst {
+		if v != EmptySlot {
+			t.Fatalf("empty-set signature[%d] = %d, want EmptySlot", i, v)
+		}
+	}
+}
+
+func TestMemoHugeIDsUncached(t *testing.T) {
+	s := NewScheme(16, 77)
+	memo := s.NewMemo(16)
+	set := []uint64{1 << 40, 1 << 50, 3}
+	got := make([]uint64, 16)
+	want := make([]uint64, 16)
+	memo.Sign(set, got)
+	s.Sign(set, want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: memo %d, scheme %d", i, got[i], want[i])
+		}
+	}
+	if len(memo.cols) >= 1<<30 {
+		t.Fatalf("memo table ballooned to %d entries", len(memo.cols))
+	}
+}

@@ -132,6 +132,13 @@ func (a *Accelerator) Insert(item int32) error {
 	return a.index.InsertSignature(item, sig)
 }
 
+// Freeze compacts the index for the iteration phase (core.Freezer).
+func (a *Accelerator) Freeze() {
+	if a.index != nil {
+		a.index.Freeze()
+	}
+}
+
 // NewQuerier returns a query handle with private scratch.
 func (a *Accelerator) NewQuerier() core.Querier {
 	return core.NewIndexQuerier(a.index, a.k)
