@@ -181,6 +181,106 @@ func BenchmarkAblationTieBreakLowestIndex(b *testing.B) {
 	runAbl(b, core.Options{TieBreak: core.TieBreakLowestIndex}, true)
 }
 
+// ---- active-set assignment pass ----
+
+// benchActiveFilter times full accelerated runs with and without the
+// active-set filter on the ablation workload, whose random seeding
+// yields several passes of sparse-tail iterations — the regime the
+// filter targets (late passes re-evaluate only the items whose cluster
+// neighbourhood changed). Assignments are bit-identical across the
+// pair; only the work differs. The reported active_frac_last metric is
+// the final pass's evaluated fraction — the acceptance criterion is
+// that it sits at or below 0.10 for the filtered run.
+func benchActiveFilter(b *testing.B, disable bool) {
+	ds := ablWorkload(b)
+	var lastFrac float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: 800, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(space, core.Options{
+			Accelerator:         accel,
+			SkipCost:            true,
+			MaxIterations:       12,
+			DisableActiveFilter: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Stats.Iterations[len(res.Stats.Iterations)-1]
+		lastFrac = float64(last.ActiveItems) / float64(ds.NumItems())
+	}
+	b.ReportMetric(lastFrac, "active_frac_last")
+}
+
+func BenchmarkActiveFilterOff(b *testing.B) { benchActiveFilter(b, true) }
+func BenchmarkActiveFilterOn(b *testing.B)  { benchActiveFilter(b, false) }
+
+// benchShortlists measures shortlist construction for every item on
+// the frozen index: the per-item Candidates path versus the batched
+// band-major CandidatesBlock path the deferred passes use.
+func benchShortlists(b *testing.B, block bool) {
+	ds := ablWorkload(b)
+	const k = 800
+	accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := accel.Reset(k); err != nil {
+		b.Fatal(err)
+	}
+	n := ds.NumItems()
+	assign := make([]int32, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range assign {
+		assign[i] = int32(rng.Intn(k))
+	}
+	for i := 0; i < n; i++ {
+		if err := accel.Insert(int32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	accel.Freeze()
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	if block {
+		bq := accel.NewQuerier().(core.BlockQuerier)
+		blk := make([]int32, 0, 64)
+		for i := 0; i < b.N; i++ {
+			sink = 0
+			for lo := 0; lo < n; lo += cap(blk) {
+				blk = blk[:0]
+				for j := lo; j < n && len(blk) < cap(blk); j++ {
+					blk = append(blk, int32(j))
+				}
+				bq.CandidatesBlock(blk, assign, func(pos int, shortlist []int32) {
+					sink += len(shortlist)
+				})
+			}
+		}
+	} else {
+		q := accel.NewQuerier()
+		for i := 0; i < b.N; i++ {
+			sink = 0
+			for item := 0; item < n; item++ {
+				sink += len(q.Candidates(int32(item), assign))
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkShortlistPerItem(b *testing.B) { benchShortlists(b, false) }
+func BenchmarkShortlistBlock(b *testing.B)   { benchShortlists(b, true) }
+
 // ---- numeric extension ----
 
 func benchNumeric(b *testing.B, params *Params) {

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seeded := fs.Bool("seeded-bootstrap", false, "use the seeded-index bootstrap instead of a full first pass")
 	abandon := fs.Bool("early-abandon", false, "enable early-abandon distance evaluation")
 	lowestTie := fs.Bool("lowest-index-ties", false, "break distance ties to the lowest cluster index (numpy-style)")
+	noActive := fs.Bool("no-active-filter", false, "evaluate every item each pass instead of only the active set (A/B baseline; results are identical)")
 	initMethod := fs.String("init", "random", "initial centroid selection: random | huang | cao")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,9 +98,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	opts := core.Options{
-		MaxIterations: *maxIter,
-		EarlyAbandon:  *abandon,
-		Workers:       *workers,
+		MaxIterations:       *maxIter,
+		EarlyAbandon:        *abandon,
+		Workers:             *workers,
+		DisableActiveFilter: *noActive,
 		OnIteration: func(it runstats.Iteration) {
 			fmt.Fprintf(stderr, "lshcluster: iter %d: %v, %d moves, avg shortlist %.2f\n",
 				it.Index, it.Duration.Round(it.Duration/100+1), it.Moves, it.AvgShortlist)

@@ -59,7 +59,24 @@
 //   - Bootstrap signing memoizes per-value MinHash columns when the
 //     value dictionary is compact enough to stay cache-resident, so
 //     each distinct categorical value is hashed once instead of once
-//     per occurrence.
+//     per occurrence. Streaming clusterers can opt into the same memo
+//     (StreamConfig.Memoize).
+//
+//   - The assignment pass itself is O(active), not O(n): an item is
+//     re-evaluated only when its cluster neighbourhood changed — a
+//     colliding item moved, or a cluster reachable through its
+//     collisions had its centroid updated (cluster-closure-style
+//     active-point filtering). The incremental engine reports the
+//     changed clusters after each pass and a reverse-collision view
+//     over the frozen index expands them into the next pass's active
+//     set; late sparse passes typically evaluate a few percent of the
+//     items. Results are bit-identical to the full pass, which
+//     Config.DisableActiveFilter retains as the correctness oracle.
+//
+//   - Snapshot-view passes (deferred updates, parallel workers) gather
+//     candidate shortlists for blocks of items in one band-major sweep
+//     of the frozen index, amortising cache misses and per-item
+//     dispatch across the block.
 //
 // The cmd/ directory provides datagen (paper-style synthetic workloads),
 // lshcluster (clustering CLI), lshtune (banding-parameter exploration,

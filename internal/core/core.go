@@ -173,17 +173,29 @@ type Options struct {
 	// DisableIncremental forces full RecomputeCentroids/Cost passes
 	// even when the Space implements IncrementalSpace. The batch path
 	// is the correctness oracle for the incremental engine; this switch
-	// exists for equivalence tests and A/B benchmarks.
+	// exists for equivalence tests and A/B benchmarks. It implies
+	// DisableActiveFilter (the filter needs the engine's change
+	// reports).
 	DisableIncremental bool
+	// DisableActiveFilter forces every assignment pass to evaluate all
+	// n items even when the run qualifies for active-set filtering
+	// (accelerated, incremental engine on, ChangeReporter space,
+	// ReverseQuerier accelerator — see active.go). The full pass is
+	// the correctness oracle for the filter; this switch exists for
+	// equivalence tests and A/B benchmarks.
+	DisableActiveFilter bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes (progress reporting).
 	OnIteration func(runstats.Iteration)
 	// SeedItems overrides the seed items used by BootstrapSeeded; when
 	// nil the Space must implement Seeder.
 	SeedItems []int32
-	// Context, when non-nil, cancels the run between passes: Run
-	// returns the context error, discarding partial progress. Large-k
-	// runs take minutes to hours; this is the off switch.
+	// Context, when non-nil, cancels the run: it is checked between
+	// passes and polled inside every assignment loop (serial and
+	// per-worker, every ctxPollEvery items), so cancellation latency
+	// is a fraction of a pass, not a whole one. Run returns the
+	// context error, discarding partial progress. Large-k runs take
+	// minutes to hours; this is the off switch.
 	Context context.Context
 }
 
@@ -255,6 +267,7 @@ func Run(space Space, opts Options) (*Result, error) {
 	} else {
 		space.RecomputeCentroids(d.assign)
 	}
+	d.initActive()
 	res := &Result{Assign: d.assign}
 	res.Stats.Bootstrap = time.Since(bootStart)
 	res.Stats.Purity = math.NaN()
@@ -264,7 +277,12 @@ func Run(space Space, opts Options) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		moves, comps, cands := d.pass()
+		ps := d.pass()
+		if err := ctxErr(opts.Context); err != nil {
+			// A cancelled pass stopped early; don't pay for a centroid
+			// publish whose results are discarded anyway.
+			return nil, err
+		}
 		if d.inc != nil {
 			d.inc.FinishPass(d.assign)
 		} else {
@@ -273,11 +291,15 @@ func Run(space Space, opts Options) (*Result, error) {
 		it := runstats.Iteration{
 			Index:           iter,
 			Duration:        time.Since(start),
-			Moves:           moves,
-			Comparisons:     comps,
-			CandidatesTotal: cands,
-			AvgShortlist:    float64(cands) / float64(n),
+			Moves:           ps.moves,
+			Comparisons:     ps.comps,
+			CandidatesTotal: ps.cands,
+			ActiveItems:     ps.evaluated,
+			SkippedItems:    n - ps.evaluated,
 			Cost:            math.NaN(),
+		}
+		if ps.evaluated > 0 {
+			it.AvgShortlist = float64(ps.cands) / float64(ps.evaluated)
 		}
 		if !opts.SkipCost {
 			if d.inc != nil {
@@ -290,9 +312,12 @@ func Run(space Space, opts Options) (*Result, error) {
 		if opts.OnIteration != nil {
 			opts.OnIteration(it)
 		}
-		if moves == 0 {
+		if ps.moves == 0 {
 			res.Stats.Converged = true
 			break
+		}
+		if d.act.enabled {
+			d.prepareNextActive()
 		}
 	}
 	return res, nil
@@ -318,6 +343,29 @@ type driver struct {
 	inc IncrementalSpace
 	// snapshot holds the pass-start assignment under UpdateDeferred.
 	snapshot []int32
+	// chg and rev are the change-report and reverse-collision
+	// capabilities backing the active-set filter; nil unless
+	// act.enabled (see active.go).
+	chg ChangeReporter
+	rev ReverseView
+	act activeState
+}
+
+// passStats aggregates one assignment pass. evaluated counts the items
+// actually queried and compared — n on a full pass, the active-set size
+// on a filtered one.
+type passStats struct {
+	moves     int
+	evaluated int
+	comps     int64
+	cands     int64
+}
+
+func (p *passStats) add(o passStats) {
+	p.moves += o.moves
+	p.evaluated += o.evaluated
+	p.comps += o.comps
+	p.cands += o.cands
 }
 
 // bootstrap produces the initial assignment and, for accelerated runs,
@@ -436,7 +484,17 @@ func (d *driver) bestExact(item, cur int, comps *int64) int {
 
 // bestOf returns the closest cluster to item among candidates plus the
 // current cluster when cur ≥ 0, resolving ties per Options.TieBreak.
+// With neither a current cluster nor any candidate there is nothing to
+// compare against; rather than silently electing cluster 0 (or −1
+// under lowest-index ties), bestOf falls back to an exact scan over
+// all k clusters. No current call site reaches this — every bootstrap
+// path either supplies cur ≥ 0 or checks for an empty shortlist first
+// — but a future bootstrap mode that forgets the check mis-assigns
+// silently without it.
 func (d *driver) bestOf(item, cur int, candidates []int32, comps *int64) int32 {
+	if cur < 0 && len(candidates) == 0 {
+		return int32(d.bestExact(item, cur, comps))
+	}
 	if d.opts.TieBreak == TieBreakLowestIndex {
 		return d.bestOfLowestIndex(item, cur, candidates, comps)
 	}
@@ -503,9 +561,8 @@ func (d *driver) bestOfLowestIndex(item, cur int, candidates []int32, comps *int
 	return bestC
 }
 
-// pass runs one assignment pass and reports (moves, comparisons,
-// candidate-cluster total).
-func (d *driver) pass() (moves int, comps, cands int64) {
+// pass runs one assignment pass.
+func (d *driver) pass() passStats {
 	if d.opts.Accelerator == nil {
 		return d.exactPass()
 	}
@@ -517,12 +574,40 @@ func (d *driver) pass() (moves int, comps, cands int64) {
 	if d.opts.Workers > 1 && d.opts.Update == UpdateDeferred {
 		return d.parallelPass(view)
 	}
+	if d.opts.Update == UpdateDeferred {
+		if bq, ok := d.querier.(BlockQuerier); ok {
+			return d.serialBlockPass(bq, view)
+		}
+	}
+	return d.serialPass(view)
+}
+
+// serialPass is the single-threaded per-item pass: immediate mode
+// always (its live view must observe each move before the next item is
+// queried), and the deferred fallback for queriers without block
+// support. A filtered pass walks the full index range but only
+// evaluates flagged items — the O(n) flag scan is noise next to a
+// single shortlist query, and it picks up the flags immediate-mode
+// moves set ahead of the cursor.
+func (d *driver) serialPass(view []int32) (ps passStats) {
 	q := d.querier
+	filtered := d.filtered()
+	poll := 0
 	for i := 0; i < d.n; i++ {
+		if filtered && !d.act.cur[i] {
+			continue
+		}
+		if poll++; poll >= ctxPollEvery {
+			poll = 0
+			if ctxErr(d.opts.Context) != nil {
+				break
+			}
+		}
 		cur := d.assign[i]
 		shortlist := q.Candidates(int32(i), view)
-		cands += int64(len(shortlist))
-		best := d.bestOf(i, int(cur), shortlist, &comps)
+		ps.cands += int64(len(shortlist))
+		best := d.bestOf(i, int(cur), shortlist, &ps.comps)
+		ps.evaluated++
 		if best != cur {
 			// The write below *is* the paper's "update the cluster
 			// reference in the MinHash index": buckets store item IDs
@@ -534,46 +619,125 @@ func (d *driver) pass() (moves int, comps, cands int64) {
 				// this cannot perturb later decisions in the pass.
 				d.inc.ApplyMove(i, cur, best)
 			}
-			moves++
+			ps.moves++
+			d.noteMove(i)
 		}
 	}
-	return moves, comps, cands
+	return ps
 }
 
-func (d *driver) exactPass() (moves int, comps, cands int64) {
+// serialBlockPass is the single-threaded deferred pass over a
+// block-capable querier: shortlists are gathered queryBlockLen items at
+// a time against the snapshot, so the index sweep amortises cache
+// misses. Moves decided inside a block cannot affect the block's other
+// shortlists — that is exactly the deferred-update semantics.
+func (d *driver) serialBlockPass(bq BlockQuerier, view []int32) (ps passStats) {
+	filtered := d.filtered()
+	var buf [queryBlockLen]int32
+	next, poll := 0, 0
+	for {
+		blk := buf[:0]
+		if filtered {
+			for next < len(d.act.curList) && len(blk) < queryBlockLen {
+				blk = append(blk, d.act.curList[next])
+				next++
+			}
+		} else {
+			for next < d.n && len(blk) < queryBlockLen {
+				blk = append(blk, int32(next))
+				next++
+			}
+		}
+		if len(blk) == 0 {
+			return ps
+		}
+		if poll += len(blk); poll >= ctxPollEvery {
+			poll = 0
+			if ctxErr(d.opts.Context) != nil {
+				return ps
+			}
+		}
+		d.evalBlock(bq, blk, view, &ps, nil)
+	}
+}
+
+// evalBlock runs one batched shortlist query and evaluates every item
+// in the block. log, when non-nil, receives the moves instead of the
+// incremental engine — parallel workers batch their moves for ordered
+// replay after the join; the serial caller passes nil and applies
+// immediately.
+func (d *driver) evalBlock(bq BlockQuerier, blk []int32, view []int32, ps *passStats, log *[]moveRec) {
+	bq.CandidatesBlock(blk, view, func(pos int, shortlist []int32) {
+		i := int(blk[pos])
+		cur := d.assign[i]
+		ps.cands += int64(len(shortlist))
+		best := d.bestOf(i, int(cur), shortlist, &ps.comps)
+		ps.evaluated++
+		if best != cur {
+			d.assign[i] = best
+			if log != nil {
+				*log = append(*log, moveRec{int32(i), cur, best})
+			} else if d.inc != nil {
+				d.inc.ApplyMove(i, cur, best)
+			}
+			ps.moves++
+			d.noteMove(i)
+		}
+	})
+}
+
+func (d *driver) exactPass() (ps passStats) {
 	if d.opts.Workers > 1 {
 		return d.parallelExactPass()
 	}
+	poll := 0
 	for i := 0; i < d.n; i++ {
+		if poll++; poll >= ctxPollEvery {
+			poll = 0
+			if ctxErr(d.opts.Context) != nil {
+				break
+			}
+		}
 		cur := d.assign[i]
-		best := int32(d.bestExact(i, int(cur), &comps))
-		cands += int64(d.k)
+		best := int32(d.bestExact(i, int(cur), &ps.comps))
+		ps.cands += int64(d.k)
+		ps.evaluated++
 		if best != cur {
 			d.assign[i] = best
 			if d.inc != nil {
 				d.inc.ApplyMove(i, cur, best)
 			}
-			moves++
+			ps.moves++
 		}
 	}
-	return moves, comps, cands
+	return ps
+}
+
+// segStats is one parallel worker's share of a pass.
+type segStats struct {
+	ps    passStats
+	moved []moveRec
 }
 
 // parallelPass splits the accelerated assignment across Workers
 // goroutines. Safe because queries read the immutable snapshot and each
-// item's assignment cell is written by exactly one worker.
-func (d *driver) parallelPass(view []int32) (moves int, comps, cands int64) {
-	type counters struct {
-		moves        int
-		comps, cands int64
-		moved        []moveRec
-	}
+// item's assignment cell (and moved flag) is written by exactly one
+// worker. A filtered pass partitions the active list instead of the
+// index range, so workers stay balanced on the surviving work; both
+// partitions are contiguous and ascending, which applyMoveLogs relies
+// on.
+func (d *driver) parallelPass(view []int32) passStats {
 	w := d.opts.Workers
-	res := make([]counters, w)
+	filtered := d.filtered()
+	total := d.n
+	if filtered {
+		total = len(d.act.curList)
+	}
+	res := make([]segStats, w)
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
-		lo := g * d.n / w
-		hi := (g + 1) * d.n / w
+		lo := g * total / w
+		hi := (g + 1) * total / w
 		if lo == hi {
 			continue
 		}
@@ -582,33 +746,85 @@ func (d *driver) parallelPass(view []int32) (moves int, comps, cands int64) {
 			defer wg.Done()
 			q := d.opts.Accelerator.NewQuerier()
 			c := &res[g]
-			for i := lo; i < hi; i++ {
-				cur := d.assign[i]
-				shortlist := q.Candidates(int32(i), view)
-				c.cands += int64(len(shortlist))
-				best := d.bestOf(i, int(cur), shortlist, &c.comps)
-				if best != cur {
-					d.assign[i] = best
-					if d.inc != nil {
-						c.moved = append(c.moved, moveRec{int32(i), cur, best})
-					}
-					c.moves++
-				}
+			var log *[]moveRec
+			if d.inc != nil {
+				log = &c.moved
+			}
+			if bq, ok := q.(BlockQuerier); ok {
+				d.workerBlocks(bq, lo, hi, filtered, view, &c.ps, log)
+			} else {
+				d.workerItems(q, lo, hi, filtered, view, &c.ps, log)
 			}
 		}(g, lo, hi)
 	}
 	wg.Wait()
-	for _, c := range res {
-		moves += c.moves
-		comps += c.comps
-		cands += c.cands
+	var ps passStats
+	for i := range res {
+		ps.add(res[i].ps)
 	}
 	d.applyMoveLogs(w, func(g int) []moveRec { return res[g].moved })
-	return moves, comps, cands
+	return ps
+}
+
+// workerBlocks processes positions [lo, hi) of the worker's domain —
+// the active list when filtered, item IDs otherwise — in batched
+// blocks.
+func (d *driver) workerBlocks(bq BlockQuerier, lo, hi int, filtered bool, view []int32, ps *passStats, log *[]moveRec) {
+	var buf [queryBlockLen]int32
+	poll := 0
+	for next := lo; next < hi; {
+		blk := buf[:0]
+		for next < hi && len(blk) < queryBlockLen {
+			if filtered {
+				blk = append(blk, d.act.curList[next])
+			} else {
+				blk = append(blk, int32(next))
+			}
+			next++
+		}
+		if poll += len(blk); poll >= ctxPollEvery {
+			poll = 0
+			if ctxErr(d.opts.Context) != nil {
+				return
+			}
+		}
+		d.evalBlock(bq, blk, view, ps, log)
+	}
+}
+
+// workerItems is the per-item worker loop for queriers without block
+// support.
+func (d *driver) workerItems(q Querier, lo, hi int, filtered bool, view []int32, ps *passStats, log *[]moveRec) {
+	poll := 0
+	for pos := lo; pos < hi; pos++ {
+		i := pos
+		if filtered {
+			i = int(d.act.curList[pos])
+		}
+		if poll++; poll >= ctxPollEvery {
+			poll = 0
+			if ctxErr(d.opts.Context) != nil {
+				return
+			}
+		}
+		cur := d.assign[i]
+		shortlist := q.Candidates(int32(i), view)
+		ps.cands += int64(len(shortlist))
+		best := d.bestOf(i, int(cur), shortlist, &ps.comps)
+		ps.evaluated++
+		if best != cur {
+			d.assign[i] = best
+			if log != nil {
+				*log = append(*log, moveRec{int32(i), cur, best})
+			}
+			ps.moves++
+			d.noteMove(i)
+		}
+	}
 }
 
 // applyMoveLogs replays per-worker move batches into the incremental
-// space after a parallel pass joins. Worker ranges are contiguous and
+// space after a parallel pass joins. Worker domains are contiguous and
 // ascending, so replaying workers in order applies moves in ascending
 // item order — the same order the single-threaded pass uses.
 func (d *driver) applyMoveLogs(w int, log func(g int) []moveRec) {
@@ -622,14 +838,9 @@ func (d *driver) applyMoveLogs(w int, log func(g int) []moveRec) {
 	}
 }
 
-func (d *driver) parallelExactPass() (moves int, comps, cands int64) {
-	type counters struct {
-		moves        int
-		comps, cands int64
-		moved        []moveRec
-	}
+func (d *driver) parallelExactPass() passStats {
 	w := d.opts.Workers
-	res := make([]counters, w)
+	res := make([]segStats, w)
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		lo := g * d.n / w
@@ -641,26 +852,33 @@ func (d *driver) parallelExactPass() (moves int, comps, cands int64) {
 		go func(g, lo, hi int) {
 			defer wg.Done()
 			c := &res[g]
+			poll := 0
 			for i := lo; i < hi; i++ {
+				if poll++; poll >= ctxPollEvery {
+					poll = 0
+					if ctxErr(d.opts.Context) != nil {
+						return
+					}
+				}
 				cur := d.assign[i]
-				best := int32(d.bestExact(i, int(cur), &c.comps))
-				c.cands += int64(d.k)
+				best := int32(d.bestExact(i, int(cur), &c.ps.comps))
+				c.ps.cands += int64(d.k)
+				c.ps.evaluated++
 				if best != cur {
 					d.assign[i] = best
 					if d.inc != nil {
 						c.moved = append(c.moved, moveRec{int32(i), cur, best})
 					}
-					c.moves++
+					c.ps.moves++
 				}
 			}
 		}(g, lo, hi)
 	}
 	wg.Wait()
-	for _, c := range res {
-		moves += c.moves
-		comps += c.comps
-		cands += c.cands
+	var ps passStats
+	for i := range res {
+		ps.add(res[i].ps)
 	}
 	d.applyMoveLogs(w, func(g int) []moveRec { return res[g].moved })
-	return moves, comps, cands
+	return ps
 }

@@ -55,6 +55,22 @@ type IncrementalSpace interface {
 	IncrementalCost(assign []int32) float64
 }
 
+// ChangeReporter is an optional Space capability, expected alongside
+// IncrementalSpace: spaces that know which clusters' visible centroids
+// changed at the most recent publish (BeginIncremental or FinishPass)
+// expose them so the driver can restrict the next assignment pass to
+// the items those changes can reach (the active-set filter; see
+// active.go). The report may be conservative — naming a cluster whose
+// centroid is in fact unchanged only costs spurious re-evaluation —
+// but must never omit a cluster whose centroid changed, or skipped
+// items could silently hold stale assignments.
+type ChangeReporter interface {
+	// ChangedClusters returns the clusters whose visible centroid
+	// (possibly conservatively) changed at the last publish. Valid
+	// until the next publish; the slice may be reused.
+	ChangedClusters() []int32
+}
+
 // Freezer is an optional Accelerator capability: accelerators whose
 // index supports compaction into an immutable, cache-friendly layout
 // (lsh.Index.Freeze) implement it. The driver invokes Freeze once, after

@@ -112,6 +112,19 @@ func (a *MinHashAccelerator) NewQuerier() Querier {
 	return NewIndexQuerier(a.index, a.k)
 }
 
+// NewReverse returns a reverse-collision view over the frozen index
+// (core.ReverseQuerier), or nil before Reset or before the index is
+// frozen — the driver then simply runs without active-set filtering.
+func (a *MinHashAccelerator) NewReverse() ReverseView {
+	if a.index == nil {
+		return nil
+	}
+	if r := a.index.NewReverse(); r != nil {
+		return r
+	}
+	return nil
+}
+
 // IndexQuerier adapts a populated lsh.Index into a Querier: colliding
 // items are mapped through the live assignment and deduplicated into a
 // cluster shortlist with an epoch-stamp array (no per-query clearing).
@@ -122,6 +135,11 @@ type IndexQuerier struct {
 	stamps []uint32
 	epoch  uint32
 	buf    []int32
+	// marks and lists are the per-block dedup scratch of
+	// CandidatesBlock: one k-bit set and one shortlist buffer per block
+	// position.
+	marks []uint64
+	lists [][]int32
 }
 
 // NewIndexQuerier creates a querier over index for a clustering with
@@ -152,4 +170,52 @@ func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
 		}
 	})
 	return q.buf
+}
+
+// CandidatesBlock computes the shortlists of a whole block of items in
+// one band-major index sweep (core.BlockQuerier; see
+// lsh.Index.CandidatesBatch for why that order amortises cache
+// misses). Buckets for the block's positions arrive interleaved, so
+// deduplication uses a k-bit mark set per position instead of the
+// sequential epoch stamps; per position the buckets still arrive in
+// ascending band order, making each emitted shortlist — contents and
+// first-occurrence order — identical to Candidates. Shortlists are
+// valid only inside their emit invocation.
+func (q *IndexQuerier) CandidatesBlock(items []int32, assign []int32, emit func(pos int, shortlist []int32)) {
+	nb := len(items)
+	words := (len(q.stamps) + 63) / 64
+	if len(q.marks) < nb*words {
+		q.marks = make([]uint64, nb*words)
+	}
+	for len(q.lists) < nb {
+		q.lists = append(q.lists, nil)
+	}
+	for pos := 0; pos < nb; pos++ {
+		q.lists[pos] = q.lists[pos][:0]
+	}
+	q.index.CandidatesBatch(items, func(pos int, bucket []int32) {
+		row := q.marks[pos*words : (pos+1)*words]
+		list := q.lists[pos]
+		for _, other := range bucket {
+			c := assign[other]
+			if c < 0 {
+				continue // not yet assigned (seeded bootstrap)
+			}
+			w, bit := int(c)>>6, uint64(1)<<(uint(c)&63)
+			if row[w]&bit == 0 {
+				row[w] |= bit
+				list = append(list, c)
+			}
+		}
+		q.lists[pos] = list
+	})
+	for pos := 0; pos < nb; pos++ {
+		emit(pos, q.lists[pos])
+		// Clear only the bits this position set, keeping the block's
+		// dedup cost proportional to shortlist sizes, not to nb·k.
+		row := q.marks[pos*words : (pos+1)*words]
+		for _, c := range q.lists[pos] {
+			row[int(c)>>6] &^= uint64(1) << (uint(c) & 63)
+		}
+	}
 }

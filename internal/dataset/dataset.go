@@ -203,6 +203,30 @@ func Mismatches(x, y []Value) int {
 	return d
 }
 
+// MismatchesMaskedBounded counts mismatches between x and y over the
+// attributes flagged in present only, returning early with a value ≥
+// bound as soon as the count reaches bound. Absent attributes are
+// treated as missing data: they contribute nothing to the distance. A
+// nil mask compares every attribute (MismatchesBounded).
+func MismatchesMaskedBounded(x, y []Value, present []bool, bound int) int {
+	if present == nil {
+		return MismatchesBounded(x, y, bound)
+	}
+	if len(present) != len(x) {
+		panic("dataset: MismatchesMaskedBounded mask arity mismatch")
+	}
+	d := 0
+	for a := range x {
+		if present[a] && x[a] != y[a] {
+			d++
+			if d >= bound {
+				return d
+			}
+		}
+	}
+	return d
+}
+
 // MismatchesBounded counts mismatches between x and y but returns early
 // with a value ≥ bound as soon as the count reaches bound. It is the
 // early-abandon variant used when a best-so-far distance is known.

@@ -22,8 +22,12 @@ type incremental struct {
 	dirty     []bool
 	dirtyList []int32
 	members   []int32 // scratch: members of dirty clusters, item order
-	trackCost bool
-	itemCost  []float64 // cached Dissimilarity(i, assign[i])
+	// changedList records the clusters whose visible centroid may have
+	// changed at the most recent publish, retained until the next
+	// publish for ChangedClusters.
+	changedList []int32
+	trackCost   bool
+	itemCost    []float64 // cached Dissimilarity(i, assign[i])
 }
 
 // BeginIncremental initialises incremental state from a complete
@@ -40,6 +44,12 @@ func (s *Space) BeginIncremental(assign []int32, trackCost bool) {
 	inc.counts = append(inc.counts[:0], s.counts...)
 	inc.dirty = make([]bool, s.k)
 	inc.dirtyList = inc.dirtyList[:0]
+	// Every centroid was just (re)published; report them all changed so
+	// a consumer never treats pre-Begin state as current.
+	inc.changedList = inc.changedList[:0]
+	for c := 0; c < s.k; c++ {
+		inc.changedList = append(inc.changedList, int32(c))
+	}
 	inc.trackCost = trackCost
 	if trackCost {
 		n := s.NumItems()
@@ -76,12 +86,14 @@ func (s *Space) markDirty(c int32) {
 // equivalent of RecomputeCentroids(assign).
 func (s *Space) FinishPass(assign []int32) {
 	inc := s.inc
+	inc.changedList = inc.changedList[:0]
 	if s.policy == ReseedRandomPoint {
 		// The batch path redraws a random point for every empty cluster
 		// on every recompute, dirty or not; replay that draw-for-draw.
 		for c := 0; c < s.k; c++ {
 			if inc.counts[c] == 0 {
 				copy(s.centroid(c), s.Point(s.rng.Intn(s.NumItems())))
+				inc.changedList = append(inc.changedList, int32(c))
 			}
 		}
 	}
@@ -115,6 +127,7 @@ func (s *Space) FinishPass(assign []int32) {
 		for j := range dst {
 			dst[j] = src[j] * inv
 		}
+		inc.changedList = append(inc.changedList, c)
 	}
 	if inc.trackCost {
 		for _, i := range inc.members {
@@ -125,6 +138,22 @@ func (s *Space) FinishPass(assign []int32) {
 		inc.dirty[c] = false
 	}
 	inc.dirtyList = inc.dirtyList[:0]
+}
+
+// ChangedClusters returns the clusters whose visible centroid may have
+// changed during the most recent publish (BeginIncremental or
+// FinishPass): every reseeded empty cluster plus every dirty cluster
+// that was re-accumulated. Dirty clusters are reported even when the
+// refreshed centroid happens to be numerically identical — the report
+// is conservative, which costs the consumer spurious activations but
+// never a missed change. Valid until the next publish; the slice is
+// reused. Implements the core.ChangeReporter capability consumed by
+// the driver's active-set filter.
+func (s *Space) ChangedClusters() []int32 {
+	if s.inc == nil {
+		return nil
+	}
+	return s.inc.changedList
 }
 
 // IncrementalCost returns the K-Means objective under assign by summing

@@ -79,6 +79,43 @@ func (t *FreqTable) Add(c int, row []dataset.Value) {
 	t.sizes[c]++
 }
 
+// AddMasked registers row as a member of cluster c, but counts only the
+// attributes flagged in present towards the frequencies (and hence the
+// modes). Absent attributes are missing data: their slot value is not
+// observed, so it must not vote — folding it in would let placeholder
+// values dominate the evolving mode on sparse data. The item still
+// counts towards the cluster size. A nil mask is equivalent to Add.
+//
+// A masked-added row is only partially counted: Remove and Move
+// decrement the full row, so calling either on such a row corrupts the
+// table (counts of never-incremented values go negative). Rows folded
+// in with a mask must be removed or moved with the same mask semantics
+// — or, as in the streaming clusterer, never.
+func (t *FreqTable) AddMasked(c int, row []dataset.Value, present []bool) {
+	if present == nil {
+		t.Add(c, row)
+		return
+	}
+	if len(row) != t.m || len(present) != t.m {
+		panic("kmodes: AddMasked arity mismatch")
+	}
+	base := c * t.m
+	for a, v := range row {
+		if !present[a] {
+			continue
+		}
+		counts := t.counts[base+a]
+		n := counts[v] + 1
+		counts[v] = n
+		cur := t.modes[base+a]
+		best := counts[cur]
+		if n > best || (n == best && (v < cur || best == 0)) {
+			t.modes[base+a] = v
+		}
+	}
+	t.sizes[c]++
+}
+
 // Remove unregisters row from cluster c and updates the mode. Removing a
 // row that was never added corrupts the table; callers own that
 // invariant.

@@ -28,9 +28,13 @@ type incremental struct {
 	dirty     []bool  // clusters whose membership changed this pass
 	dirtyList []int32 // the same clusters, in first-touched order
 	changed   []bool  // clusters whose visible mode changed at FinishPass
-	trackCost bool
-	itemCost  []int32 // cached Mismatches(row(i), mode(assign[i]))
-	total     int64   // Σ itemCost, maintained exactly in integers
+	// changedList records the clusters whose visible mode changed at
+	// the most recent publish (BeginIncremental or FinishPass),
+	// retained until the next publish for ChangedClusters.
+	changedList []int32
+	trackCost   bool
+	itemCost    []int32 // cached Mismatches(row(i), mode(assign[i]))
+	total       int64   // Σ itemCost, maintained exactly in integers
 }
 
 // BeginIncremental builds the frequency tables from a complete
@@ -70,6 +74,12 @@ func (s *Space) BeginIncremental(assign []int32, trackCost bool) {
 	}
 	for c := 0; c < s.k; c++ {
 		copy(s.mode(c), inc.freq.Mode(c))
+	}
+	// Every mode was just (re)published from scratch; report them all
+	// changed so a consumer never treats pre-Begin state as current.
+	inc.changedList = inc.changedList[:0]
+	for c := 0; c < s.k; c++ {
+		inc.changedList = append(inc.changedList, int32(c))
 	}
 	if trackCost {
 		if cap(inc.itemCost) < n {
@@ -115,6 +125,7 @@ func (s *Space) markDirty(c int32) {
 // RecomputeCentroids(assign).
 func (s *Space) FinishPass(assign []int32) {
 	inc := s.inc
+	inc.changedList = inc.changedList[:0]
 	if s.policy == ReseedRandomItem {
 		// The batch path redraws a random item for every empty cluster
 		// on every recompute, dirty or not; replay that draw-for-draw.
@@ -123,6 +134,7 @@ func (s *Space) FinishPass(assign []int32) {
 				row := s.ds.Row(s.rng.Intn(s.NumItems()))
 				inc.freq.SetMode(c, row)
 				copy(s.mode(c), row)
+				inc.changedList = append(inc.changedList, int32(c))
 			}
 		}
 	}
@@ -142,6 +154,7 @@ func (s *Space) FinishPass(assign []int32) {
 			copy(s.mode(int(c)), inc.freq.Mode(int(c)))
 			inc.changed[c] = true
 			changedAny = true
+			inc.changedList = append(inc.changedList, c)
 		}
 	}
 	if inc.trackCost && changedAny {
@@ -160,6 +173,23 @@ func (s *Space) FinishPass(assign []int32) {
 		inc.changed[c] = false
 	}
 	inc.dirtyList = inc.dirtyList[:0]
+}
+
+// ChangedClusters returns the clusters whose visible mode changed
+// during the most recent publish (BeginIncremental or FinishPass):
+// every reseeded empty cluster — each redraw counts as a change, even
+// when the same row is redrawn — plus every dirty cluster whose
+// recomputed mode actually differs from the published one. Valid until
+// the next publish; the slice is reused. This is the
+// core.ChangeReporter capability the driver's active-set filter
+// consumes: items whose shortlist cannot reach any of these clusters
+// (and did not lose or gain a colliding neighbour) provably keep their
+// assignment and are skipped.
+func (s *Space) ChangedClusters() []int32 {
+	if s.inc == nil {
+		return nil
+	}
+	return s.inc.changedList
 }
 
 // IncrementalCost returns the K-Modes objective under assign. With cost

@@ -181,12 +181,61 @@ func (ix *Index) Candidates(item int32, fn func(other int32)) {
 	}
 }
 
+// CandidatesBatch invokes fn once per (item, band) with the whole band
+// bucket of the corresponding block item, skipping items that were
+// never inserted. Enumeration is band-major across the block — every
+// item's band-0 bucket, then every item's band-1 bucket, and so on — so
+// each step of the sweep stays inside one band's contiguous region of
+// the frozen CSR layout, amortising cache and TLB misses that a
+// per-item band sweep pays once per item. For any single pos the
+// buckets still arrive in ascending band order with their build-phase
+// item order intact, so a per-pos consumer observes exactly the
+// sequence Candidates(items[pos]) would deliver; handing whole bucket
+// slices to fn additionally removes Candidates' per-colliding-item
+// closure dispatch. The bucket slices alias index storage and must not
+// be modified.
+func (ix *Index) CandidatesBatch(items []int32, fn func(pos int, bucket []int32)) {
+	bands := ix.params.Bands
+	if fz := ix.frozen; fz != nil {
+		for b := 0; b < bands; b++ {
+			for pos, item := range items {
+				if int(item) >= len(ix.inserted) || !ix.inserted[item] {
+					continue
+				}
+				slot := fz.slots[int(item)*bands+b]
+				fn(pos, fz.items[fz.offsets[slot]:fz.offsets[slot+1]])
+			}
+		}
+		return
+	}
+	for b := 0; b < bands; b++ {
+		for pos, item := range items {
+			if int(item) >= len(ix.inserted) || !ix.inserted[item] {
+				continue
+			}
+			fn(pos, ix.buckets[b][ix.keys[int(item)*bands+b]])
+		}
+	}
+}
+
 // CandidatesOfSet MinHashes an arbitrary (possibly un-inserted) value set
 // and reports colliding items, with the same duplication semantics as
 // Candidates. It is used for out-of-index queries such as assigning new
 // items in a streaming setting.
 func (ix *Index) CandidatesOfSet(presentValues []uint64, fn func(other int32)) {
-	sig := ix.scheme.Sign(presentValues, ix.sigBuf)
+	ix.CandidatesOfSignature(ix.scheme.Sign(presentValues, ix.sigBuf), fn)
+}
+
+// CandidatesOfSignature reports the items colliding with a precomputed
+// signature of length SignatureLen, with the same duplication semantics
+// as Candidates. It lets callers that sign externally — the streaming
+// clusterer signs once per arriving item, via minhash.Memo when
+// memoization is on, and reuses the signature for both this query and
+// the subsequent InsertSignature — avoid re-hashing the item per use.
+func (ix *Index) CandidatesOfSignature(sig []uint64, fn func(other int32)) {
+	if len(sig) != ix.params.SignatureLen() {
+		panic("lsh: CandidatesOfSignature signature length mismatch")
+	}
 	if fz := ix.frozen; fz != nil {
 		for b := 0; b < ix.params.Bands; b++ {
 			slot := fz.tables[b].get(ix.bandKey(sig, b))

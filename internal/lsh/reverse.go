@@ -1,0 +1,74 @@
+package lsh
+
+// Reverse is a reusable reverse-collision view over a frozen index:
+// mark a set of *source* items, then enumerate every indexed item that
+// shares at least one band bucket with any source. Collision is
+// symmetric, so the emitted items are exactly those whose candidate
+// enumeration would report a source — the "items touching" relation the
+// clustering driver needs to expand a changed cluster neighbourhood
+// into the set of items whose shortlist (or shortlist distances) may
+// have changed.
+//
+// Buckets are deduplicated at the bucket level: a bucket shared by many
+// sources is scanned exactly once during Emit, so expanding the members
+// of a cluster costs O(distinct hot buckets' contents) rather than
+// O(sources × bands × bucket size). This is only possible on the frozen
+// CSR layout, where buckets have stable global IDs (see frozenIndex);
+// NewReverse returns nil for an unfrozen index.
+//
+// A Reverse owns private scratch and is not safe for concurrent use.
+type Reverse struct {
+	ix     *Index
+	mark   []bool  // per global bucket: hot this round
+	marked []int32 // hot bucket IDs, first-marked order
+}
+
+// NewReverse returns a reverse view over the index, or nil when the
+// index has not been frozen.
+func (ix *Index) NewReverse() *Reverse {
+	if ix.frozen == nil {
+		return nil
+	}
+	return &Reverse{ix: ix, mark: make([]bool, len(ix.frozen.offsets)-1)}
+}
+
+// AddSource marks every bucket of a previously inserted item hot.
+// Uninserted items are ignored.
+func (r *Reverse) AddSource(item int32) {
+	ix := r.ix
+	if int(item) >= len(ix.inserted) || !ix.inserted[item] {
+		return
+	}
+	fz := ix.frozen
+	base := int(item) * ix.params.Bands
+	for b := 0; b < ix.params.Bands; b++ {
+		slot := fz.slots[base+b]
+		if !r.mark[slot] {
+			r.mark[slot] = true
+			r.marked = append(r.marked, slot)
+		}
+	}
+}
+
+// Emit invokes fn for every item in a hot bucket, each bucket scanned
+// once; an item in several hot buckets is reported once per bucket
+// (callers dedupe, typically into a flag array). fn returning false
+// stops the enumeration early. All marks are reset before Emit
+// returns, whether or not it was stopped, so the view is immediately
+// reusable.
+func (r *Reverse) Emit(fn func(item int32) bool) {
+	fz := r.ix.frozen
+	stopped := false
+	for _, s := range r.marked {
+		if !stopped {
+			for _, it := range fz.items[fz.offsets[s]:fz.offsets[s+1]] {
+				if !fn(it) {
+					stopped = true
+					break
+				}
+			}
+		}
+		r.mark[s] = false
+	}
+	r.marked = r.marked[:0]
+}

@@ -22,12 +22,22 @@ type Iteration struct {
 	Moves int
 	// Comparisons counts item-to-centroid dissimilarity evaluations.
 	Comparisons int64
-	// CandidatesTotal sums shortlist sizes over all items; for the exact
-	// algorithm the shortlist is the full cluster set.
+	// CandidatesTotal sums shortlist sizes over the evaluated items;
+	// for the exact algorithm the shortlist is the full cluster set.
 	CandidatesTotal int64
-	// AvgShortlist is CandidatesTotal divided by the number of items
-	// (paper figures "Avg. Clusters Returned").
+	// AvgShortlist is CandidatesTotal divided by ActiveItems — the
+	// mean shortlist size per item actually queried (paper figures
+	// "Avg. Clusters Returned"). Without active-set filtering every
+	// item is queried and the divisor is n.
 	AvgShortlist float64
+	// ActiveItems counts the items the assignment pass evaluated. With
+	// active-set filtering, items whose cluster neighbourhood provably
+	// did not change are skipped, so late sparse passes evaluate far
+	// fewer than n; without it this is always n.
+	ActiveItems int
+	// SkippedItems counts the items the active-set filter skipped
+	// (n − ActiveItems).
+	SkippedItems int
 	// Cost is the clustering objective after the pass (K-Modes Eq. 4),
 	// NaN when cost tracking is disabled.
 	Cost float64
@@ -100,13 +110,13 @@ func (r *Run) Speedup(other *Run) float64 {
 func WriteCSV(w io.Writer, runs []*Run) error {
 	cw := csv.NewWriter(w)
 	header := []string{"run", "iteration", "duration_ms", "moves",
-		"comparisons", "avg_shortlist", "cost"}
+		"comparisons", "avg_shortlist", "cost", "active_items", "skipped_items"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("runstats: writing CSV header: %w", err)
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 	for _, r := range runs {
-		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", ""}
+		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", "", "", ""}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("runstats: writing CSV: %w", err)
 		}
@@ -119,6 +129,8 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 				strconv.FormatInt(it.Comparisons, 10),
 				f(it.AvgShortlist),
 				f(it.Cost),
+				strconv.Itoa(it.ActiveItems),
+				strconv.Itoa(it.SkippedItems),
 			}
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("runstats: writing CSV: %w", err)

@@ -143,3 +143,16 @@ func (a *Accelerator) Freeze() {
 func (a *Accelerator) NewQuerier() core.Querier {
 	return core.NewIndexQuerier(a.index, a.k)
 }
+
+// NewReverse returns a reverse-collision view over the frozen index
+// (core.ReverseQuerier), or nil before Reset or before the index is
+// frozen — the driver then simply runs without active-set filtering.
+func (a *Accelerator) NewReverse() core.ReverseView {
+	if a.index == nil {
+		return nil
+	}
+	if r := a.index.NewReverse(); r != nil {
+		return r
+	}
+	return nil
+}

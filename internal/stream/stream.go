@@ -26,6 +26,7 @@ import (
 	"lshcluster/internal/dataset"
 	"lshcluster/internal/kmodes"
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/minhash"
 )
 
 // Config parameterises a streaming clusterer.
@@ -42,6 +43,14 @@ type Config struct {
 	NumAttrs int
 	// CapacityHint pre-sizes per-item storage (optional).
 	CapacityHint int
+	// Memoize enables the per-value MinHash hash-column memo
+	// (minhash.Memo) for stream signing: each distinct present value's
+	// hash column is computed once and every later occurrence becomes
+	// an element-wise min over the cached column. Worthwhile on
+	// streams whose value dictionary is compact and heavily reused
+	// (the census-like K-Modes regime); signatures — and therefore
+	// assignments — are bit-identical with or without it.
+	Memoize bool
 }
 
 // Stats counts the stream-side behaviour of the index.
@@ -64,9 +73,11 @@ type Clusterer struct {
 	params  lsh.Params
 	index   *lsh.Index
 	freq    *kmodes.FreqTable
+	memo    *minhash.Memo // nil unless Config.Memoize
 	assign  []int32
 	stats   Stats
 	presBuf []uint64
+	sigBuf  []uint64
 	stamps  []uint32
 	epoch   uint32
 	short   []int32
@@ -95,7 +106,11 @@ func New(cfg Config) (*Clusterer, error) {
 		params: cfg.Params,
 		index:  ix,
 		freq:   kmodes.NewFreqTable(k, cfg.NumAttrs),
+		sigBuf: make([]uint64, cfg.Params.SignatureLen()),
 		stamps: make([]uint32, k),
+	}
+	if cfg.Memoize {
+		c.memo = ix.Scheme().NewMemo(0)
 	}
 	for cl := 0; cl < k; cl++ {
 		c.freq.SetMode(cl, cfg.InitialModes[cl*c.m:(cl+1)*c.m])
@@ -135,8 +150,21 @@ func (c *Clusterer) Model() *kmodes.Model { return c.freq.Model() }
 
 // Add assigns one item and folds it into the clustering. row holds the
 // item's m attribute values; present, when non-nil, flags which values
-// MinHash may see (nil means all present). It returns the assigned
-// cluster.
+// are actually observed (nil means all present).
+//
+// Absent attributes are treated as missing data, consistently across
+// all three uses of the row: they are invisible to MinHash (only
+// present values are signed), they do not vote in the frequency table
+// (the evolving mode of an attribute reflects only items that observed
+// it — folding unobserved slot values in would let placeholders
+// dominate on sparse streams), and they do not count in the
+// item-to-mode distance (an unobserved value can neither match nor
+// mismatch). Callers for whom absence is itself informative — e.g.
+// binary text features, where a missing word separates documents —
+// should encode it as an explicit "absent" marker value and pass
+// present = nil, exactly as the batch pipeline's datasets do.
+//
+// Add returns the assigned cluster.
 func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 	if len(row) != c.m {
 		return 0, fmt.Errorf("stream: row has %d values, want %d", len(row), c.m)
@@ -151,6 +179,15 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 		}
 	}
 
+	// Sign once; the signature serves both the shortlist query and the
+	// index insert below (via minhash.Memo when memoization is on).
+	var sig []uint64
+	if c.memo != nil {
+		sig = c.memo.Sign(c.presBuf, c.sigBuf)
+	} else {
+		sig = c.index.Scheme().Sign(c.presBuf, c.sigBuf)
+	}
+
 	// Shortlist via the index (deduplicated with epoch stamps).
 	c.epoch++
 	if c.epoch == 0 {
@@ -160,7 +197,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 		c.epoch = 1
 	}
 	c.short = c.short[:0]
-	c.index.CandidatesOfSet(c.presBuf, func(other int32) {
+	c.index.CandidatesOfSignature(sig, func(other int32) {
 		cl := c.assign[other]
 		if c.stamps[cl] != c.epoch {
 			c.stamps[cl] = c.epoch
@@ -174,7 +211,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 		c.stats.FullScans++
 		c.stats.CandidatesTotal += int64(c.k)
 		for cl := 0; cl < c.k; cl++ {
-			d := dataset.MismatchesBounded(row, c.freq.Mode(cl), bestD)
+			d := dataset.MismatchesMaskedBounded(row, c.freq.Mode(cl), present, bestD)
 			c.stats.Comparisons++
 			if d < bestD {
 				best, bestD = cl, d
@@ -183,7 +220,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 	} else {
 		c.stats.CandidatesTotal += int64(len(c.short))
 		for _, cl := range c.short {
-			d := dataset.MismatchesBounded(row, c.freq.Mode(int(cl)), bestD)
+			d := dataset.MismatchesMaskedBounded(row, c.freq.Mode(int(cl)), present, bestD)
 			c.stats.Comparisons++
 			if d < bestD {
 				best, bestD = int(cl), d
@@ -193,10 +230,10 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 
 	item := int32(len(c.assign))
 	c.assign = append(c.assign, int32(best))
-	if err := c.index.Insert(item, c.presBuf); err != nil {
+	if err := c.index.InsertSignature(item, sig); err != nil {
 		return 0, fmt.Errorf("stream: indexing item %d: %w", item, err)
 	}
-	c.freq.Add(best, row)
+	c.freq.AddMasked(best, row, present)
 	c.stats.Items++
 	return best, nil
 }

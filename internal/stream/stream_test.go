@@ -146,6 +146,108 @@ func TestStreamingPresenceMask(t *testing.T) {
 	}
 }
 
+// TestPresenceMaskExcludedFromModes is the regression test for the
+// frequency-fold bug: Add used to fold the *full* row into the
+// frequency table, so the placeholder values of absent attributes were
+// counted as observations and could take over the evolving mode. Only
+// present values may vote.
+func TestPresenceMaskExcludedFromModes(t *testing.T) {
+	c, err := New(Config{
+		Params: lsh.Params{Bands: 2, Rows: 1}, Seed: 1,
+		InitialModes: []dataset.Value{1, 1, 1, 1}, NumAttrs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute 0 is observed with value 9; attributes 1–3 carry the
+	// placeholder 9 but are absent.
+	row := []dataset.Value{9, 9, 9, 9}
+	present := []bool{true, false, false, false}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Add(row, present); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mode := c.Mode(0)
+	if mode[0] != 9 {
+		t.Fatalf("observed attribute: mode[0] = %v, want 9", mode[0])
+	}
+	for a := 1; a < 4; a++ {
+		if mode[a] != 1 {
+			t.Fatalf("absent attribute %d: placeholder value leaked into the mode (= %v, want 1)", a, mode[a])
+		}
+	}
+}
+
+// TestPresenceMaskExcludedFromDistance pins the documented
+// missing-data distance semantics: an absent attribute neither matches
+// nor mismatches.
+func TestPresenceMaskExcludedFromDistance(t *testing.T) {
+	c, err := New(Config{
+		Params: lsh.Params{Bands: 2, Rows: 1}, Seed: 1,
+		// Mode 0 = [5 5], mode 1 = [9 7].
+		InitialModes: []dataset.Value{5, 5, 9, 7}, NumAttrs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute 0 = 9 (observed), attribute 1 = 5 (absent). Masked
+	// distance: 1 to mode 0, 0 to mode 1. Counting the absent slot
+	// would instead tie them at 1 and elect cluster 0.
+	cl, err := c.Add([]dataset.Value{9, 5}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != 1 {
+		t.Fatalf("assigned cluster %d, want 1 (absent attribute must not count)", cl)
+	}
+}
+
+// TestMemoizedStreamMatchesPlain asserts the memoized signing path is
+// behaviour-identical: same assignments, same index statistics.
+func TestMemoizedStreamMatchesPlain(t *testing.T) {
+	ds, modes := streamWorkload(t)
+	mk := func(memoize bool) *Clusterer {
+		c, err := New(Config{
+			Params:       lsh.Params{Bands: 20, Rows: 2},
+			Seed:         3,
+			InitialModes: modes,
+			NumAttrs:     24,
+			CapacityHint: ds.NumItems(),
+			Memoize:      memoize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	plain, memo := mk(false), mk(true)
+	present := make([]bool, 24)
+	for a := range present {
+		present[a] = a%5 != 0 // exercise the masked path too
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		mask := present
+		if i%2 == 0 {
+			mask = nil
+		}
+		a, err := plain.Add(ds.Row(i), mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := memo.Add(ds.Row(i), mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("item %d: plain cluster %d, memoized %d", i, a, b)
+		}
+	}
+	if plain.Stats() != memo.Stats() {
+		t.Fatalf("stats diverged: plain %+v, memoized %+v", plain.Stats(), memo.Stats())
+	}
+}
+
 func TestFromModel(t *testing.T) {
 	ds, modes := streamWorkload(t)
 	model := &kmodes.Model{K: 20, M: 24, Modes: modes}

@@ -104,6 +104,12 @@ type Config struct {
 	// LowestIndexTies breaks distance ties towards the lowest cluster
 	// index (numpy-argmin style) instead of keeping the current cluster.
 	LowestIndexTies bool
+	// DisableActiveFilter forces every post-bootstrap assignment pass
+	// to evaluate all n items. By default accelerated runs skip items
+	// whose cluster neighbourhood provably did not change since the
+	// previous pass (results are bit-identical either way); this
+	// switch is the correctness oracle and A/B baseline.
+	DisableActiveFilter bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes.
 	OnIteration func(Iteration)
@@ -113,11 +119,12 @@ type Config struct {
 
 func (c Config) coreOptions() core.Options {
 	opts := core.Options{
-		MaxIterations: c.MaxIterations,
-		EarlyAbandon:  c.EarlyAbandon,
-		Workers:       c.Workers,
-		OnIteration:   c.OnIteration,
-		Context:       c.Context,
+		MaxIterations:       c.MaxIterations,
+		EarlyAbandon:        c.EarlyAbandon,
+		Workers:             c.Workers,
+		OnIteration:         c.OnIteration,
+		Context:             c.Context,
+		DisableActiveFilter: c.DisableActiveFilter,
 	}
 	if c.SeededBootstrap {
 		opts.Bootstrap = core.BootstrapSeeded
