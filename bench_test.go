@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"lshcluster/internal/core"
 	"lshcluster/internal/datagen"
@@ -453,6 +454,58 @@ func benchBootstrapSigning(b *testing.B, memoized bool) {
 
 func BenchmarkBootstrapSigningPlain(b *testing.B)    { benchBootstrapSigning(b, false) }
 func BenchmarkBootstrapSigningMemoized(b *testing.B) { benchBootstrapSigning(b, true) }
+
+// ---- parallel bootstrap pipeline ----
+
+// benchBootstrapPipeline times the bootstrap phase of a full-scan
+// accelerated run on the 100k signing workload — the regime where
+// bootstrap dominates end-to-end cost. serial=true runs the per-item
+// sign+insert oracle (DisableParallelBootstrap); otherwise the
+// sign → build → assign pipeline runs at the given worker count.
+// Results are bit-identical across all variants (enforced by the
+// equivalence tests); only the bootstrap cost differs, reported as
+// bootstrap_ms with its per-phase split.
+func benchBootstrapPipeline(b *testing.B, workers int, serial bool) {
+	const k = 1000
+	ds := signWorkload(b)
+	var boot, sign, build, assign time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: k, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(space, core.Options{
+			Accelerator:              accel,
+			SkipCost:                 true,
+			MaxIterations:            1,
+			Workers:                  workers,
+			Update:                   core.UpdateDeferred,
+			DisableParallelBootstrap: serial,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		boot += res.Stats.Bootstrap
+		sign += res.Stats.BootstrapSign
+		build += res.Stats.BootstrapBuild
+		assign += res.Stats.BootstrapAssign
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(boot.Milliseconds())/n, "bootstrap_ms")
+	b.ReportMetric(float64(sign.Milliseconds())/n, "sign_ms")
+	b.ReportMetric(float64(build.Milliseconds())/n, "build_ms")
+	b.ReportMetric(float64(assign.Milliseconds())/n, "assign_ms")
+}
+
+func BenchmarkBootstrapSerialOracle(b *testing.B) { benchBootstrapPipeline(b, 1, true) }
+func BenchmarkBootstrapPipeline1(b *testing.B)    { benchBootstrapPipeline(b, 1, false) }
+func BenchmarkBootstrapPipeline4(b *testing.B)    { benchBootstrapPipeline(b, 4, false) }
 
 // benchCandidates measures the recurring per-iteration collision
 // lookup over every indexed item, on the map-based builder layout vs

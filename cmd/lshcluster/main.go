@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"lshcluster/internal/core"
 	"lshcluster/internal/dataset"
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	abandon := fs.Bool("early-abandon", false, "enable early-abandon distance evaluation")
 	lowestTie := fs.Bool("lowest-index-ties", false, "break distance ties to the lowest cluster index (numpy-style)")
 	noActive := fs.Bool("no-active-filter", false, "evaluate every item each pass instead of only the active set (A/B baseline; results are identical)")
+	noParallelBoot := fs.Bool("no-parallel-bootstrap", false, "run the serial per-item bootstrap instead of the parallel sign/build/assign pipeline (A/B baseline; results are identical)")
 	initMethod := fs.String("init", "random", "initial centroid selection: random | huang | cao")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,10 +100,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	opts := core.Options{
-		MaxIterations:       *maxIter,
-		EarlyAbandon:        *abandon,
-		Workers:             *workers,
-		DisableActiveFilter: *noActive,
+		MaxIterations:            *maxIter,
+		EarlyAbandon:             *abandon,
+		Workers:                  *workers,
+		DisableActiveFilter:      *noActive,
+		DisableParallelBootstrap: *noParallelBoot,
 		OnIteration: func(it runstats.Iteration) {
 			fmt.Fprintf(stderr, "lshcluster: iter %d: %v, %d moves, avg shortlist %.2f\n",
 				it.Index, it.Duration.Round(it.Duration/100+1), it.Moves, it.AvgShortlist)
@@ -128,6 +131,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	run := res.Stats
+	fmt.Fprintf(stderr, "lshcluster: bootstrap %v (sign %v, build %v, assign %v)\n",
+		run.Bootstrap.Round(time.Millisecond),
+		run.BootstrapSign.Round(time.Millisecond),
+		run.BootstrapBuild.Round(time.Millisecond),
+		run.BootstrapAssign.Round(time.Millisecond))
 	if *exact {
 		run.Name = "K-Modes"
 	} else {

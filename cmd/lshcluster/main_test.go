@@ -130,3 +130,37 @@ func TestClusterInitMethods(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterBootstrapModes runs the parallel bootstrap pipeline and
+// its serial oracle on the same input and checks identical assignments
+// plus the per-phase bootstrap report.
+func TestClusterBootstrapModes(t *testing.T) {
+	in := writeWorkload(t)
+	dir := t.TempDir()
+	assigns := map[string]string{}
+	for _, mode := range []string{"parallel", "serial"} {
+		args := []string{"-in", in, "-k", "10", "-bands", "10", "-rows", "2",
+			"-workers", "2", "-seed", "3"}
+		out := filepath.Join(dir, mode+".csv")
+		if mode == "serial" {
+			args = append(args, "-no-parallel-bootstrap")
+		}
+		args = append(args, "-assign", out)
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !strings.Contains(stderr.String(), "bootstrap") ||
+			!strings.Contains(stderr.String(), "sign") {
+			t.Fatalf("%s: stderr missing bootstrap phase report: %q", mode, stderr.String())
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigns[mode] = string(b)
+	}
+	if assigns["parallel"] != assigns["serial"] {
+		t.Fatal("parallel and serial bootstrap produced different assignments")
+	}
+}

@@ -49,18 +49,38 @@
 //     assignments, centroids and costs versus the full-recompute batch
 //     path, which is retained as a correctness oracle.
 //
-//   - The MinHash banding index is frozen after bootstrap: its per-band
-//     hash-map buckets are compacted into flat CSR arrays (offsets +
-//     item IDs, with per-item bucket slots resolved up front), so the
-//     recurring collision lookups are allocation-free scans of
-//     contiguous memory. Streaming clusterers keep the unfrozen
-//     map-based builder and may insert indefinitely.
+//   - The MinHash banding index serves iteration from a frozen layout:
+//     flat CSR arrays (offsets + item IDs, with per-item bucket slots
+//     resolved up front), so the recurring collision lookups are
+//     allocation-free scans of contiguous memory. The index has three
+//     construction lifecycles: build-frozen (the batch full-scan
+//     bootstrap constructs the frozen layout directly from presigned
+//     band keys, never materialising the hash maps),
+//     build-map-then-freeze (the seeded bootstrap, whose query/insert
+//     interleave needs the mutable builder, compacts it afterwards)
+//     and streaming-unfrozen (stream clusterers keep the map-based
+//     builder and may insert indefinitely).
+//
+//   - The bootstrap itself is a parallel pipeline, individually timed
+//     per phase (sign → build → assign): signing shards items across
+//     Config.Workers goroutines with per-worker scratch into a flat
+//     band-key arena; the direct-to-frozen build parallelises across
+//     bands, each band an independent shard owning a contiguous
+//     bucket-ID range (the groundwork for multi-shard serving); and
+//     the exact first assignment shards items like any parallel pass.
+//     Results are bit-identical to the serial per-item bootstrap,
+//     which Config.DisableParallelBootstrap retains as the
+//     correctness oracle; per-phase timings land in
+//     Run.BootstrapSign/BootstrapBuild/BootstrapAssign and the stats
+//     CSV.
 //
 //   - Bootstrap signing memoizes per-value MinHash columns when the
 //     value dictionary is compact enough to stay cache-resident, so
 //     each distinct categorical value is hashed once instead of once
-//     per occurrence. Streaming clusterers can opt into the same memo
-//     (StreamConfig.Memoize).
+//     per occurrence; the parallel pipeline pre-fills the memo (each
+//     column computed exactly once, in parallel), after which all
+//     signing workers share it read-only. Streaming clusterers can opt
+//     into the same memo (StreamConfig.Memoize).
 //
 //   - The assignment pass itself is O(active), not O(n): an item is
 //     re-evaluated only when its cluster neighbourhood changed — a

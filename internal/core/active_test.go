@@ -255,9 +255,16 @@ func TestCancellationMidPass(t *testing.T) {
 		t.Run(fmt.Sprintf("w=%d", workers), func(t *testing.T) {
 			space := &countingSpace{n: n, k: k}
 			// Bootstrap's full scan runs before the countdown matters:
-			// budget its single pre-bootstrap Err call, the
-			// iteration-top call, and cancel at the first in-pass poll.
-			ctx := newCountdownCtx(2)
+			// budget the pre-bootstrap Err call, the bootstrap scan's
+			// in-shard polls (one per 1024-item chunk per worker, see
+			// ctxPollEvery) plus its phase-end check, the iteration-top
+			// call, and cancel at the first in-pass poll.
+			bootPolls := int32(0)
+			for g := 0; g < workers; g++ {
+				lo, hi := g*n/workers, (g+1)*n/workers
+				bootPolls += int32((hi - lo + 1023) / 1024)
+			}
+			ctx := newCountdownCtx(1 + bootPolls + 1 + 1)
 			res, err := core.Run(space, core.Options{
 				Workers:       workers,
 				SkipCost:      true,

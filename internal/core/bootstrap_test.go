@@ -1,0 +1,266 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+	"lshcluster/internal/kmeans"
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/lsh"
+	"lshcluster/internal/simhash"
+
+	"lshcluster/internal/core"
+)
+
+// assertBootstrapEqual runs the same configuration twice — once with
+// the parallel sign → build → assign bootstrap pipeline (the default),
+// once with DisableParallelBootstrap (the serial per-item oracle) —
+// and asserts bit-identical outcomes: assignments, per-iteration moves
+// and costs, convergence, and the final centroids (via the
+// caller-provided fingerprint of the space the run mutated).
+func assertBootstrapEqual(t *testing.T, mk func() (core.Space, core.Accelerator), fingerprint func(core.Space) []byte, opts core.Options) {
+	t.Helper()
+	run := func(disable bool) (*core.Result, []byte) {
+		o := opts
+		o.DisableParallelBootstrap = disable
+		space, accel := mk()
+		o.Accelerator = accel
+		res, err := core.Run(space, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fingerprint(space)
+	}
+	par, parCentroids := run(false)
+	ser, serCentroids := run(true)
+	for i := range par.Assign {
+		if par.Assign[i] != ser.Assign[i] {
+			t.Fatalf("assign[%d]: parallel %d, serial %d", i, par.Assign[i], ser.Assign[i])
+		}
+	}
+	if par.Stats.Converged != ser.Stats.Converged {
+		t.Fatalf("converged: parallel %v, serial %v", par.Stats.Converged, ser.Stats.Converged)
+	}
+	if len(par.Stats.Iterations) != len(ser.Stats.Iterations) {
+		t.Fatalf("iterations: parallel %d, serial %d",
+			len(par.Stats.Iterations), len(ser.Stats.Iterations))
+	}
+	for i := range par.Stats.Iterations {
+		a, b := par.Stats.Iterations[i], ser.Stats.Iterations[i]
+		if a.Moves != b.Moves {
+			t.Fatalf("iteration %d moves: parallel %d, serial %d", i+1, a.Moves, b.Moves)
+		}
+		if a.Cost != b.Cost {
+			t.Fatalf("iteration %d cost: parallel %v, serial %v", i+1, a.Cost, b.Cost)
+		}
+	}
+	if !bytes.Equal(parCentroids, serCentroids) {
+		t.Fatal("final centroids differ between parallel and serial bootstrap")
+	}
+}
+
+func bootstrapWorkload(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Items: 600, Clusters: 30, Attrs: 16, Domain: 200,
+		MinRuleFrac: 0.7, MaxRuleFrac: 0.9, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func kmodesFingerprint(t *testing.T) func(core.Space) []byte {
+	return func(s core.Space) []byte {
+		var buf bytes.Buffer
+		if err := s.(*kmodes.Space).Model().Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+}
+
+// TestParallelBootstrapMatchesSerialKModes is the headline equivalence
+// matrix: MinHash-accelerated K-Modes across bootstrap modes, update
+// modes and worker counts (including workers=1, where the pipeline
+// still takes the presign + direct-to-frozen path).
+func TestParallelBootstrapMatchesSerialKModes(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	mk := func() (core.Space, core.Accelerator) {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a
+	}
+	for _, boot := range []core.BootstrapMode{core.BootstrapFullScan, core.BootstrapSeeded} {
+		for _, upd := range []core.UpdateMode{core.UpdateImmediate, core.UpdateDeferred} {
+			for _, workers := range []int{1, 4} {
+				if workers > 1 && upd != core.UpdateDeferred {
+					continue // rejected by core.Run
+				}
+				name := fmt.Sprintf("boot=%d/upd=%d/w=%d", boot, upd, workers)
+				t.Run(name, func(t *testing.T) {
+					assertBootstrapEqual(t, mk, kmodesFingerprint(t), core.Options{
+						Bootstrap: boot, Update: upd, Workers: workers,
+						MaxIterations: 15,
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestParallelBootstrapMatchesSerialKMeans covers the SimHash/K-Means
+// instantiation of the same pipeline.
+func TestParallelBootstrapMatchesSerialKMeans(t *testing.T) {
+	pts, _, err := kmeans.GenerateBlobs(kmeans.BlobsConfig{
+		Points: 800, Clusters: 40, Dim: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (core.Space, core.Accelerator) {
+		s, err := kmeans.NewSpace(pts, 8, kmeans.Config{K: 40, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := simhash.NewAccelerator(s, lsh.Params{Bands: 8, Rows: 8}, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a
+	}
+	fingerprint := func(s core.Space) []byte {
+		var buf bytes.Buffer
+		sp := s.(*kmeans.Space)
+		for c := 0; c < sp.NumClusters(); c++ {
+			fmt.Fprintf(&buf, "%x;", sp.Centroid(c))
+		}
+		return buf.Bytes()
+	}
+	for _, boot := range []core.BootstrapMode{core.BootstrapFullScan, core.BootstrapSeeded} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("boot=%d/w=%d", boot, workers), func(t *testing.T) {
+				assertBootstrapEqual(t, mk, fingerprint, core.Options{
+					Bootstrap: boot, Update: core.UpdateDeferred, Workers: workers,
+					MaxIterations: 15,
+				})
+			})
+		}
+	}
+}
+
+// TestParallelBootstrapExactScan covers the non-accelerated run: the
+// bootstrap full scan shards across workers and must stay
+// bit-identical to the serial scan.
+func TestParallelBootstrapExactScan(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	mk := func() (core.Space, core.Accelerator) {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, nil
+	}
+	assertBootstrapEqual(t, mk, kmodesFingerprint(t), core.Options{
+		Workers: 4, MaxIterations: 10,
+	})
+}
+
+// TestBootstrapPhaseTimings checks the per-phase bootstrap split is
+// recorded: the pipeline path reports a non-zero signing phase, every
+// path reports a non-zero assignment phase, and the phases never
+// exceed the bootstrap total.
+func TestBootstrapPhaseTimings(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	run := func(disable bool) *core.Result {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(s, core.Options{
+			Accelerator: a, Workers: 2, Update: core.UpdateDeferred,
+			MaxIterations: 3, DisableParallelBootstrap: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, disable := range []bool{false, true} {
+		res := run(disable)
+		st := res.Stats
+		if disable {
+			if st.BootstrapSign != 0 {
+				t.Fatalf("serial oracle reported a signing phase: %v", st.BootstrapSign)
+			}
+		} else if st.BootstrapSign <= 0 {
+			t.Fatal("pipeline reported no signing phase")
+		}
+		if st.BootstrapBuild <= 0 {
+			t.Fatalf("disable=%v: no build phase recorded", disable)
+		}
+		if st.BootstrapAssign <= 0 {
+			t.Fatalf("disable=%v: no assignment phase recorded", disable)
+		}
+		if sum := st.BootstrapSign + st.BootstrapBuild + st.BootstrapAssign; sum > st.Bootstrap {
+			t.Fatalf("disable=%v: phase sum %v exceeds bootstrap %v", disable, sum, st.Bootstrap)
+		}
+	}
+}
+
+// TestBootstrapCancellation checks the bootstrap honours
+// Options.Context: a cancelled context stops the bootstrap scan after
+// at most one poll interval per worker instead of completing the whole
+// first assignment, and the accelerated pipeline aborts cleanly at a
+// phase boundary.
+func TestBootstrapCancellation(t *testing.T) {
+	const n, k = 40_000, 4
+	for _, workers := range []int{1, 4} {
+		space := &countingSpace{n: n, k: k}
+		ctx := newCountdownCtx(1) // pre-bootstrap check passes; first in-scan poll cancels
+		_, err := core.Run(space, core.Options{
+			Workers: workers, SkipCost: true, MaxIterations: 2, Context: ctx,
+		})
+		if err != context.Canceled {
+			t.Fatalf("w=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Each worker evaluates at most one poll chunk (1024 items × k
+		// distances) before observing the cancellation.
+		if calls, budget := space.calls.Load(), int64(workers)*1024*k; calls > budget {
+			t.Fatalf("w=%d: %d distance calls after cancellation, want ≤ %d", workers, calls, budget)
+		}
+	}
+
+	// Accelerated pipeline: cancellation between phases aborts the run.
+	ds := bootstrapWorkload(t)
+	s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Run(s, core.Options{
+		Accelerator: a, Workers: 2, Update: core.UpdateDeferred,
+		MaxIterations: 2, Context: newCountdownCtx(1),
+	})
+	if err != context.Canceled {
+		t.Fatalf("accelerated: err = %v, want context.Canceled", err)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"lshcluster/internal/par"
 	"lshcluster/internal/runstats"
 )
 
@@ -97,10 +98,17 @@ const (
 	BootstrapFullScan BootstrapMode = iota
 	// BootstrapSeeded is an ablation variant: the k seed items are
 	// indexed and assigned to their own clusters first; every other
-	// item is then assigned via the (growing) index, falling back to an
-	// exact scan when its shortlist is empty, and indexed immediately.
-	// Cheaper than a guaranteed full first pass, slightly less faithful
-	// to the exact algorithm's first assignment.
+	// item is then queried against the growing index, falling back to
+	// an exact scan when its shortlist is empty, and indexed
+	// immediately after. Note the query runs before the item's own
+	// insertion and Querier.Candidates only answers for indexed items,
+	// so as implemented every non-seed shortlist is empty and the
+	// exact-scan fallback always runs — the mode currently differs
+	// from BootstrapFullScan only in its per-item interleave (the
+	// equivalence oracle and tests pin this behaviour; having the
+	// growing index actually answer, e.g. by querying the item's
+	// presigned band keys, would change assignments and is left as a
+	// ROADMAP item).
 	BootstrapSeeded
 )
 
@@ -184,6 +192,14 @@ type Options struct {
 	// the correctness oracle for the filter; this switch exists for
 	// equivalence tests and A/B benchmarks.
 	DisableActiveFilter bool
+	// DisableParallelBootstrap forces the serial bootstrap: the
+	// single-threaded first assignment and the per-item sign+insert
+	// loop, even when Workers > 1 or the accelerator implements
+	// BulkIndexer. By default the bootstrap runs as a parallel
+	// sign → build → assign pipeline (bit-identical results); the
+	// serial loop is the correctness oracle for that pipeline, and
+	// this switch exists for equivalence tests and A/B benchmarks.
+	DisableParallelBootstrap bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes (progress reporting).
 	OnIteration func(runstats.Iteration)
@@ -192,10 +208,13 @@ type Options struct {
 	SeedItems []int32
 	// Context, when non-nil, cancels the run: it is checked between
 	// passes and polled inside every assignment loop (serial and
-	// per-worker, every ctxPollEvery items), so cancellation latency
-	// is a fraction of a pass, not a whole one. Run returns the
-	// context error, discarding partial progress. Large-k runs take
-	// minutes to hours; this is the off switch.
+	// per-worker, every ctxPollEvery items) and inside the bootstrap
+	// (scan shards, signing workers and insert interleaves poll at the
+	// same cadence, with a check after each pipeline phase), so
+	// cancellation latency is a fraction of a pass or bootstrap, not a
+	// whole one. Run returns the context error, discarding partial
+	// progress. Large-k runs take minutes to hours; this is the off
+	// switch.
 	Context context.Context
 }
 
@@ -258,9 +277,12 @@ func Run(space Space, opts Options) (*Result, error) {
 	}
 	// All items are indexed by now; compact the index for the recurring
 	// per-iteration lookups (no-op for accelerators without the
-	// capability).
+	// capability, and for the direct-to-frozen bootstrap, which built
+	// the compact layout up front).
 	if f, ok := opts.Accelerator.(Freezer); ok {
+		freezeStart := time.Now()
 		f.Freeze()
+		d.bootBuild += time.Since(freezeStart)
 	}
 	if d.inc != nil {
 		d.inc.BeginIncremental(d.assign, !opts.SkipCost)
@@ -270,6 +292,9 @@ func Run(space Space, opts Options) (*Result, error) {
 	d.initActive()
 	res := &Result{Assign: d.assign}
 	res.Stats.Bootstrap = time.Since(bootStart)
+	res.Stats.BootstrapSign = d.bootSign
+	res.Stats.BootstrapBuild = d.bootBuild
+	res.Stats.BootstrapAssign = d.bootAssign
 	res.Stats.Purity = math.NaN()
 
 	for iter := 1; iter <= maxIter; iter++ {
@@ -343,6 +368,11 @@ type driver struct {
 	inc IncrementalSpace
 	// snapshot holds the pass-start assignment under UpdateDeferred.
 	snapshot []int32
+	// bootSign/bootBuild/bootAssign split the bootstrap wall time into
+	// its signing, index-construction and first-assignment phases
+	// (runstats.Run.Bootstrap* — see those fields for which phases stay
+	// zero on the serial paths, where signing is interleaved).
+	bootSign, bootBuild, bootAssign time.Duration
 	// chg and rev are the change-report and reverse-collision
 	// capabilities backing the active-set filter; nil unless
 	// act.enabled (see active.go).
@@ -370,23 +400,86 @@ func (p *passStats) add(o passStats) {
 
 // bootstrap produces the initial assignment and, for accelerated runs,
 // the index.
+//
+// With a BulkIndexer accelerator (and unless DisableParallelBootstrap
+// selects the serial oracle), it runs as an explicit pipeline whose
+// phases are individually parallel and individually timed: sign every
+// item into a flat key arena across Workers goroutines, build the
+// index from the keys (direct to the frozen layout for the full-scan
+// mode; the serial presigned interleave for the seeded mode, whose
+// query/insert ordering is semantically load-bearing), then the exact
+// first assignment, itself sharded across Workers. Every phase is
+// bit-identical to its serial counterpart.
 func (d *driver) bootstrap() error {
 	accel := d.opts.Accelerator
+	workers := d.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// Bootstrap is now the dominant wall-clock phase, so it honours
+	// Options.Context like the iteration passes do: every long loop
+	// (scan shards, signing workers, insert interleaves) polls each
+	// ctxPollEvery items, and each pipeline phase ends with a
+	// cancellation check, keeping latency a fraction of the bootstrap.
+	stop := func() bool { return ctxErr(d.opts.Context) != nil }
+	serialOracle := d.opts.DisableParallelBootstrap
 	if accel == nil {
-		d.fullScanRange(0, d.n, d.assign, nil)
-		return nil
+		start := time.Now()
+		d.bootstrapScan(workers, !serialOracle)
+		d.bootAssign = time.Since(start)
+		return ctxErr(d.opts.Context)
 	}
 	if err := accel.Reset(d.k); err != nil {
 		return fmt.Errorf("core: resetting accelerator: %w", err)
 	}
+	bulk, _ := accel.(BulkIndexer)
+	if serialOracle {
+		bulk = nil
+	}
 	switch d.opts.Bootstrap {
 	case BootstrapFullScan:
-		d.fullScanRange(0, d.n, d.assign, nil)
+		if bulk != nil {
+			start := time.Now()
+			if err := bulk.SignAll(workers, stop); err != nil {
+				return fmt.Errorf("core: signing items: %w", err)
+			}
+			d.bootSign = time.Since(start)
+			if err := ctxErr(d.opts.Context); err != nil {
+				return err // the partially signed arena is discarded with the run
+			}
+			start = time.Now()
+			if err := bulk.BuildFrozen(workers); err != nil {
+				return fmt.Errorf("core: building frozen index: %w", err)
+			}
+			d.bootBuild = time.Since(start)
+			if err := ctxErr(d.opts.Context); err != nil {
+				return err
+			}
+			start = time.Now()
+			d.bootstrapScan(workers, true)
+			d.bootAssign = time.Since(start)
+			break
+		}
+		start := time.Now()
+		d.bootstrapScan(workers, !serialOracle)
+		d.bootAssign = time.Since(start)
+		if err := ctxErr(d.opts.Context); err != nil {
+			return err
+		}
+		start = time.Now()
+		poll := 0
 		for i := 0; i < d.n; i++ {
+			if poll++; poll >= ctxPollEvery {
+				poll = 0
+				if err := ctxErr(d.opts.Context); err != nil {
+					return err
+				}
+			}
 			if err := accel.Insert(int32(i)); err != nil {
 				return fmt.Errorf("core: indexing item %d: %w", i, err)
 			}
 		}
+		d.bootBuild = time.Since(start) // includes interleaved signing
 	case BootstrapSeeded:
 		seeds := d.opts.SeedItems
 		if seeds == nil {
@@ -399,6 +492,19 @@ func (d *driver) bootstrap() error {
 		if len(seeds) != d.k {
 			return fmt.Errorf("core: %d seed items for %d clusters", len(seeds), d.k)
 		}
+		insert := accel.Insert
+		if bulk != nil {
+			start := time.Now()
+			if err := bulk.SignAll(workers, stop); err != nil {
+				return fmt.Errorf("core: signing items: %w", err)
+			}
+			d.bootSign = time.Since(start)
+			if err := ctxErr(d.opts.Context); err != nil {
+				return err
+			}
+			insert = bulk.InsertPresigned
+		}
+		start := time.Now()
 		isSeed := make([]bool, d.n)
 		for c, item := range seeds {
 			if item < 0 || int(item) >= d.n {
@@ -406,14 +512,21 @@ func (d *driver) bootstrap() error {
 			}
 			d.assign[item] = int32(c)
 			isSeed[item] = true
-			if err := accel.Insert(item); err != nil {
+			if err := insert(item); err != nil {
 				return fmt.Errorf("core: indexing seed %d: %w", item, err)
 			}
 		}
 		q := accel.NewQuerier()
+		poll := 0
 		for i := 0; i < d.n; i++ {
 			if isSeed[i] {
 				continue
+			}
+			if poll++; poll >= ctxPollEvery {
+				poll = 0
+				if err := ctxErr(d.opts.Context); err != nil {
+					return err
+				}
 			}
 			shortlist := q.Candidates(int32(i), d.assign)
 			if len(shortlist) == 0 {
@@ -421,15 +534,45 @@ func (d *driver) bootstrap() error {
 			} else {
 				d.assign[i] = d.bestOf(i, -1, shortlist, nil)
 			}
-			if err := accel.Insert(int32(i)); err != nil {
+			if err := insert(int32(i)); err != nil {
 				return fmt.Errorf("core: indexing item %d: %w", i, err)
 			}
 		}
+		d.bootAssign = time.Since(start) // includes interleaved inserts
 	default:
 		return fmt.Errorf("core: unknown bootstrap mode %d", d.opts.Bootstrap)
 	}
 	d.querier = accel.NewQuerier()
-	return nil
+	return ctxErr(d.opts.Context)
+}
+
+// bootstrapScan runs the exact first assignment over all n items —
+// every item against every centroid, current assignment −1 — sharded
+// across workers goroutines when parallel. Items are independent
+// (Space reads are concurrency-safe, each assignment cell written by
+// one worker), so the result is bit-identical to the serial scan.
+// Moves are not logged: the incremental engine initialises from the
+// complete bootstrap assignment afterwards. Every shard polls
+// Options.Context each ctxPollEvery items and stops early on
+// cancellation; the caller returns the context error, discarding the
+// partial assignment with the run.
+func (d *driver) bootstrapScan(workers int, parallel bool) {
+	if !parallel {
+		workers = 1
+	}
+	par.Ranges(d.n, workers, func(lo, hi int) {
+		for next := lo; next < hi; {
+			end := next + ctxPollEvery
+			if end > hi {
+				end = hi
+			}
+			d.fullScanRange(next, end, d.assign, nil)
+			next = end
+			if ctxErr(d.opts.Context) != nil {
+				return
+			}
+		}
+	})
 }
 
 // fullScanRange exactly assigns items in [lo, hi) by scanning all k

@@ -24,6 +24,10 @@ type MinHashAccelerator struct {
 	memo   *minhash.Memo
 	setBuf []uint64
 	sigBuf []uint64
+	// presigned is the flat band-key arena SignAll computed
+	// (keys[item·Bands+band]); nil until SignAll, released to the index
+	// by BuildFrozen.
+	presigned []uint64
 }
 
 // NewMinHashAccelerator creates an accelerator for ds with the given
@@ -73,6 +77,7 @@ func (a *MinHashAccelerator) Reset(numClusters int) error {
 		a.memo = ix.Scheme().NewMemo(int(a.maxVal) + 1)
 	}
 	a.sigBuf = make([]uint64, a.params.SignatureLen())
+	a.presigned = nil
 	return nil
 }
 
@@ -100,11 +105,68 @@ func (a *MinHashAccelerator) Insert(item int32) error {
 	return a.index.Insert(item, a.setBuf)
 }
 
+// SignAll computes every item's band keys into a flat arena, sharding
+// the signing across workers goroutines with per-worker scratch
+// (core.BulkIndexer). When the hash-column memo is enabled it is
+// pre-filled first — each distinct value's column computed exactly
+// once, in parallel — after which the shared memo is read-only and
+// safe for all signing workers; without the memo each worker hashes
+// with its own buffers. Keys are bit-identical to per-item Insert
+// signing.
+func (a *MinHashAccelerator) SignAll(workers int, stop func() bool) error {
+	if a.index == nil {
+		return fmt.Errorf("core: SignAll before Reset")
+	}
+	if a.memo != nil {
+		a.memo.Fill(workers)
+	}
+	scheme := a.index.Scheme()
+	a.presigned = lsh.SignAll(a.params, a.ds.NumItems(), workers, func() lsh.SignFunc {
+		var set []uint64
+		if a.memo != nil {
+			return func(item int32, sig []uint64) {
+				set = a.ds.PresentValues(int(item), set[:0])
+				a.memo.Sign(set, sig)
+			}
+		}
+		return func(item int32, sig []uint64) {
+			set = a.ds.PresentValues(int(item), set[:0])
+			scheme.Sign(set, sig)
+		}
+	}, stop)
+	return nil
+}
+
+// BuildFrozen constructs the frozen index directly from the presigned
+// keys, parallel across bands (core.BulkIndexer).
+func (a *MinHashAccelerator) BuildFrozen(workers int) error {
+	if a.presigned == nil {
+		return fmt.Errorf("core: BuildFrozen before SignAll")
+	}
+	err := a.index.BuildFrozen(a.presigned, a.ds.NumItems(), workers)
+	a.presigned = nil
+	return err
+}
+
+// InsertPresigned files one item under its presigned band keys on the
+// map-based builder (core.BulkIndexer).
+func (a *MinHashAccelerator) InsertPresigned(item int32) error {
+	if a.presigned == nil {
+		return fmt.Errorf("core: InsertPresigned before SignAll")
+	}
+	bands := a.params.Bands
+	return a.index.InsertKeys(item, a.presigned[int(item)*bands:(int(item)+1)*bands])
+}
+
 // Freeze compacts the index for the iteration phase (core.Freezer).
+// It also releases the presigned key arena: after the seeded
+// bootstrap's interleave every key has been filed into the index, so
+// retaining the arena through the iterations would only duplicate it.
 func (a *MinHashAccelerator) Freeze() {
 	if a.index != nil {
 		a.index.Freeze()
 	}
+	a.presigned = nil
 }
 
 // NewQuerier returns a query handle with its own deduplication scratch.

@@ -80,6 +80,12 @@ func (ix *Index) Frozen() bool { return ix.frozen != nil }
 // return exactly what they returned before freezing (same candidates,
 // same enumeration order). Freeze is idempotent.
 //
+// Bucket IDs are assigned band by band in each key's first-insertion
+// order (keyOrder), not map iteration order, so the frozen arrays are
+// a deterministic function of the insertion sequence — and, when items
+// were inserted in ascending ID order, byte-identical to what
+// BuildFrozen produces from the same band keys.
+//
 // Batch clustering calls this once after bootstrap (via the
 // core.Freezer capability); the streaming clusterer, which inserts for
 // the lifetime of the stream, never does.
@@ -101,10 +107,18 @@ func (ix *Index) Freeze() {
 		tables:  make([]keyTable, bands),
 	}
 	bucketID := int32(0)
-	for b, band := range ix.buckets {
+	// Iterate band indices, not ix.buckets: with nothing inserted the
+	// lazy build storage was never materialised (buckets nil) and every
+	// band still needs a valid empty key table for post-freeze queries.
+	for b := 0; b < bands; b++ {
+		var band map[uint64][]int32
+		var order []uint64
+		if ix.buckets != nil {
+			band, order = ix.buckets[b], ix.keyOrder[b]
+		}
 		tbl := newKeyTable(len(band))
-		for key, items := range band {
-			fz.items = append(fz.items, items...)
+		for _, key := range order {
+			fz.items = append(fz.items, band[key]...)
 			fz.offsets = append(fz.offsets, int32(len(fz.items)))
 			tbl.put(key, bucketID)
 			bucketID++
@@ -126,5 +140,6 @@ func (ix *Index) Freeze() {
 	}
 	ix.frozen = fz
 	ix.buckets = nil // release the build-phase maps
+	ix.keyOrder = nil
 	ix.keys = nil
 }

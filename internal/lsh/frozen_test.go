@@ -196,3 +196,25 @@ func TestGrowPreservesState(t *testing.T) {
 		}
 	}
 }
+
+// TestFreezeEmptyIndex pins the lazy-storage edge: freezing an index
+// before any insert must still build valid (empty) per-band key
+// tables, so post-freeze out-of-index queries return no candidates
+// instead of panicking — the same behaviour BuildFrozen with n=0 and
+// the eager pre-lazy layout had.
+func TestFreezeEmptyIndex(t *testing.T) {
+	ix := mustIndex(t, Params{Bands: 4, Rows: 2}, 3, 0)
+	ix.Freeze()
+	if got := collectOfSet(ix, []uint64{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("empty frozen index returned candidates %v", got)
+	}
+	if got := collectCandidates(ix, 0); len(got) != 0 {
+		t.Fatalf("empty frozen index returned item candidates %v", got)
+	}
+
+	// The unfrozen empty index takes the lazy-guard path instead.
+	ix2 := mustIndex(t, Params{Bands: 4, Rows: 2}, 3, 0)
+	if got := collectOfSet(ix2, []uint64{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("empty unfrozen index returned candidates %v", got)
+	}
+}

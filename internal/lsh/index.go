@@ -20,25 +20,47 @@ import (
 // time, "updating the reference" after a move is a single slice store —
 // exactly the O(1) pointer update described in §III-B.
 //
-// The index has a two-phase lifecycle: a map-based *build* phase that
-// accepts streaming inserts, and an optional *frozen* phase (Freeze)
-// that compacts the buckets into flat CSR arrays for cache-friendly,
-// allocation-free candidate lookups during iteration. Batch clustering
-// freezes after bootstrap; the streaming clusterer keeps inserting and
-// never freezes.
+// The index has three construction lifecycles: a map-based *build*
+// phase that accepts streaming inserts, an optional *frozen* phase
+// (Freeze) that compacts the buckets into flat CSR arrays for
+// cache-friendly, allocation-free candidate lookups during iteration,
+// and a *direct-to-frozen* batch build (BuildFrozen) that constructs
+// the frozen layout straight from presigned band keys, skipping the
+// map phase entirely. Batch clustering either freezes after bootstrap
+// (seeded mode, which interleaves queries with inserts) or builds
+// frozen directly (full-scan mode); the streaming clusterer keeps
+// inserting and never freezes.
 //
-// An Index is not safe for concurrent mutation. Concurrent queries are
-// safe once all insertions (or Freeze) are done.
+// An Index is not safe for concurrent mutation. Insert and
+// CandidatesOfSet additionally share internal signing scratch
+// (sigBuf), so neither may run concurrently with the other even
+// though CandidatesOfSet does not mutate buckets; parallel
+// constructions sign with per-worker scratch (SignAll) instead.
+// Concurrent queries via Candidates/CandidatesBatch/
+// CandidatesOfSignature are safe once all insertions (or Freeze /
+// BuildFrozen) are done.
 type Index struct {
 	params Params
 	scheme *minhash.Scheme
+	// capHint is the NewIndex numItems capacity hint, consumed when the
+	// build-phase storage is materialised.
+	capHint int
 	// buckets[band] maps a band key to the IDs of the items whose
 	// signature hashed to it. Separate maps per band implement the
 	// paper's requirement that "there will be b sets of buckets to map
 	// to, one set for each band so no overlapping between bands can
-	// occur"; keys are additionally salted with the band number. Nil
-	// once frozen.
+	// occur"; keys are additionally salted with the band number.
+	// Allocated lazily on the first insert (ensureBuild) so the
+	// direct-to-frozen batch build, which never files into maps, pays
+	// nothing for them; nil once frozen.
 	buckets []map[uint64][]int32
+	// keyOrder[band] lists the band's distinct keys in first-insertion
+	// order. Freeze assigns bucket IDs in this order, which makes the
+	// frozen layout a deterministic function of the insertion sequence
+	// (map iteration order is randomised) and lets BuildFrozen — which
+	// processes items in ascending ID order — reproduce it byte for
+	// byte. Nil once frozen.
+	keyOrder [][]uint64
 	// keys[item·bands+band] is the stored band key of an inserted item.
 	// Nil once frozen (the frozen layout resolves items to bucket slots
 	// directly).
@@ -57,21 +79,39 @@ func NewIndex(p Params, seed uint64, numItems int) (*Index, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	buckets := make([]map[uint64][]int32, p.Bands)
-	for b := range buckets {
-		buckets[b] = make(map[uint64][]int32)
-	}
 	if numItems < 0 {
 		numItems = 0
 	}
 	return &Index{
-		params:   p,
-		scheme:   minhash.NewScheme(p.SignatureLen(), seed),
-		buckets:  buckets,
-		keys:     make([]uint64, numItems*p.Bands),
-		inserted: make([]bool, numItems),
-		sigBuf:   make([]uint64, p.SignatureLen()),
+		params:  p,
+		scheme:  minhash.NewScheme(p.SignatureLen(), seed),
+		capHint: numItems,
+		sigBuf:  make([]uint64, p.SignatureLen()),
 	}, nil
+}
+
+// ensureBuild materialises the map-based build storage on first use.
+// Deferred out of NewIndex so BuildFrozen — which resolves buckets
+// straight into the frozen layout — never allocates the maps, the
+// key-order lists or the per-item key arena it would immediately
+// discard.
+func (ix *Index) ensureBuild() {
+	if ix.buckets != nil {
+		return
+	}
+	// Pre-size each band's bucket map so the streaming build phase does
+	// not pay log(buckets) incremental rehashes. Distinct keys per band
+	// range from ~1 (degenerate all-identical data) to numItems (all
+	// singletons); numItems/Bands is a middle-ground hint that removes
+	// most growth steps without over-reserving Bands× the worst case.
+	hint := ix.capHint / ix.params.Bands
+	ix.buckets = make([]map[uint64][]int32, ix.params.Bands)
+	for b := range ix.buckets {
+		ix.buckets[b] = make(map[uint64][]int32, hint)
+	}
+	ix.keyOrder = make([][]uint64, ix.params.Bands)
+	ix.keys = make([]uint64, ix.capHint*ix.params.Bands)
+	ix.inserted = make([]bool, ix.capHint)
 }
 
 // Params returns the banding configuration.
@@ -85,10 +125,11 @@ func (ix *Index) Scheme() *minhash.Scheme { return ix.scheme }
 // count is maintained on insert rather than scanned.
 func (ix *Index) NumInserted() int { return ix.numInserted }
 
-// bandKey hashes rows [band·r, (band+1)·r) of sig into a salted 64-bit
-// bucket key.
-func (ix *Index) bandKey(sig []uint64, band int) uint64 {
-	r := ix.params.Rows
+// bandKeyOf hashes rows [band·r, (band+1)·r) of sig into a salted
+// 64-bit bucket key. A free function so parallel signing workers can
+// compute keys without touching an Index.
+func bandKeyOf(p Params, sig []uint64, band int) uint64 {
+	r := p.Rows
 	key := uint64(band)*0x9e3779b97f4a7c15 + 0x85ebca6b9d1c5e27
 	for _, v := range sig[band*r : (band+1)*r] {
 		key = hashfamily.Mix64(key ^ v)
@@ -96,9 +137,20 @@ func (ix *Index) bandKey(sig []uint64, band int) uint64 {
 	return key
 }
 
+// bandKey hashes rows [band·r, (band+1)·r) of sig into a salted 64-bit
+// bucket key.
+func (ix *Index) bandKey(sig []uint64, band int) uint64 {
+	return bandKeyOf(ix.params, sig, band)
+}
+
 // Insert MinHashes the given present-value set and files item under every
 // band bucket (Algorithm 2 lines 5–9 applied at index-construction time).
 // Inserting the same item twice is an error.
+//
+// Insert signs into scratch shared with CandidatesOfSet: it must not be
+// called concurrently with itself or with CandidatesOfSet. Parallel
+// batch construction signs with per-worker scratch via SignAll +
+// BuildFrozen (or InsertKeys) instead.
 func (ix *Index) Insert(item int32, presentValues []uint64) error {
 	return ix.InsertSignature(item, ix.scheme.Sign(presentValues, ix.sigBuf))
 }
@@ -117,19 +169,60 @@ func (ix *Index) InsertSignature(item int32, sig []uint64) error {
 	if ix.frozen != nil {
 		return fmt.Errorf("lsh: index is frozen")
 	}
+	ix.ensureBuild()
 	ix.grow(int(item) + 1)
 	if ix.inserted[item] {
 		return fmt.Errorf("lsh: item %d already inserted", item)
 	}
 	base := int(item) * ix.params.Bands
 	for b := 0; b < ix.params.Bands; b++ {
-		key := ix.bandKey(sig, b)
-		ix.keys[base+b] = key
-		ix.buckets[b][key] = append(ix.buckets[b][key], item)
+		ix.file(b, ix.bandKey(sig, b), item, base)
 	}
 	ix.inserted[item] = true
 	ix.numInserted++
 	return nil
+}
+
+// InsertKeys files item under precomputed band keys — one per band, as
+// produced by SignAll — in the map-based build phase. It is the insert
+// half of the seeded bootstrap's query/insert interleave once signing
+// has been hoisted out and parallelised: the interleave itself stays
+// serial (and semantically identical), but each insert is reduced to
+// Bands map appends.
+func (ix *Index) InsertKeys(item int32, keys []uint64) error {
+	if item < 0 {
+		return fmt.Errorf("lsh: negative item ID %d", item)
+	}
+	if len(keys) != ix.params.Bands {
+		return fmt.Errorf("lsh: %d band keys, want %d", len(keys), ix.params.Bands)
+	}
+	if ix.frozen != nil {
+		return fmt.Errorf("lsh: index is frozen")
+	}
+	ix.ensureBuild()
+	ix.grow(int(item) + 1)
+	if ix.inserted[item] {
+		return fmt.Errorf("lsh: item %d already inserted", item)
+	}
+	base := int(item) * ix.params.Bands
+	for b, key := range keys {
+		ix.file(b, key, item, base)
+	}
+	ix.inserted[item] = true
+	ix.numInserted++
+	return nil
+}
+
+// file appends item to band b's bucket under key, recording the key's
+// first appearance in keyOrder (the deterministic Freeze ordering) and
+// retaining it in the per-item key store.
+func (ix *Index) file(b int, key uint64, item int32, base int) {
+	ix.keys[base+b] = key
+	bucket, ok := ix.buckets[b][key]
+	if !ok {
+		ix.keyOrder[b] = append(ix.keyOrder[b], key)
+	}
+	ix.buckets[b][key] = append(bucket, item)
 }
 
 // grow extends the per-item storage to hold at least n items, doubling
@@ -222,6 +315,11 @@ func (ix *Index) CandidatesBatch(items []int32, fn func(pos int, bucket []int32)
 // and reports colliding items, with the same duplication semantics as
 // Candidates. It is used for out-of-index queries such as assigning new
 // items in a streaming setting.
+//
+// CandidatesOfSet signs into scratch shared with Insert: it must not be
+// called concurrently with itself or with Insert. Callers that need
+// concurrent out-of-index queries sign externally (with private
+// scratch) and use CandidatesOfSignature.
 func (ix *Index) CandidatesOfSet(presentValues []uint64, fn func(other int32)) {
 	ix.CandidatesOfSignature(ix.scheme.Sign(presentValues, ix.sigBuf), fn)
 }
@@ -235,6 +333,9 @@ func (ix *Index) CandidatesOfSet(presentValues []uint64, fn func(other int32)) {
 func (ix *Index) CandidatesOfSignature(sig []uint64, fn func(other int32)) {
 	if len(sig) != ix.params.SignatureLen() {
 		panic("lsh: CandidatesOfSignature signature length mismatch")
+	}
+	if ix.frozen == nil && ix.buckets == nil {
+		return // nothing inserted yet (build storage is lazy)
 	}
 	if fz := ix.frozen; fz != nil {
 		for b := 0; b < ix.params.Bands; b++ {

@@ -1,0 +1,60 @@
+package lsh
+
+import (
+	"reflect"
+	"testing"
+
+	"lshcluster/internal/minhash"
+)
+
+// TestSignAllMatchesInsertKeys pins the arena contents: SignAll must
+// compute exactly the band keys per-item Insert signing stores,
+// independent of the worker count.
+func TestSignAllMatchesInsertKeys(t *testing.T) {
+	const n = 150
+	p := Params{Bands: 10, Rows: 3}
+	sets := testSets(n, 21)
+	ix := mustIndex(t, p, 13, n)
+	for i, s := range sets {
+		if err := ix.Insert(int32(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ix.keys // retained band keys, item-major — the arena layout
+	for _, workers := range []int{1, 3, 8} {
+		got := SignAll(p, n, workers, setSigner(ix, sets), nil)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: SignAll keys differ from Insert keys", workers)
+		}
+	}
+}
+
+// TestSignAllConcurrentMemo exercises the parallel signing path the
+// accelerator uses — a shared, pre-filled memo read by every worker —
+// under the race detector, and checks the keys are identical to
+// direct serial signing. This is the concurrent-signing regression
+// test for the shared-sigBuf hazard: the parallel path must never
+// touch Index scratch.
+func TestSignAllConcurrentMemo(t *testing.T) {
+	const n, maxVal = 400, 64
+	p := Params{Bands: 8, Rows: 4}
+	sets := testSets(n, 77)
+	for i := range sets {
+		for j := range sets[i] {
+			sets[i][j] %= maxVal // keep IDs inside the memo table
+		}
+	}
+	scheme := minhash.NewScheme(p.SignatureLen(), 41)
+	memo := scheme.NewMemo(maxVal)
+	memo.Fill(4)
+
+	serial := SignAll(p, n, 1, func() SignFunc {
+		return func(item int32, sig []uint64) { scheme.Sign(sets[item], sig) }
+	}, nil)
+	parallel := SignAll(p, n, 8, func() SignFunc {
+		return func(item int32, sig []uint64) { memo.Sign(sets[item], sig) }
+	}, nil)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("memoized parallel keys differ from direct serial keys")
+	}
+}

@@ -1,5 +1,7 @@
 package minhash
 
+import "lshcluster/internal/par"
+
 // Memo caches the per-element hash column (h_1(x) … h_n(x)) of a
 // Scheme. Categorical datasets repeat the same interned value across
 // many items, so during bootstrap indexing each distinct value's column
@@ -12,7 +14,9 @@ package minhash
 // without caching so a pathological sparse ID cannot balloon memory.
 //
 // A Memo is NOT safe for concurrent use (it mutates its cache); create
-// one per signing goroutine.
+// one per signing goroutine — or Fill it first, after which Sign is
+// read-only (and therefore safe to share across goroutines) for
+// element IDs inside the filled table.
 type Memo struct {
 	scheme *Scheme
 	cols   [][]uint64
@@ -40,6 +44,53 @@ func (s *Scheme) NewMemo(capacityHint int) *Memo {
 	}
 	return &Memo{scheme: s, cols: make([][]uint64, capacityHint)}
 }
+
+// Fill precomputes every column of the memo table ([0, Len)), sharding
+// the work across workers goroutines with per-worker arena slabs. Each
+// column is computed exactly once — the same total hashing work a
+// serial warm-up would do, divided by workers.
+//
+// After Fill, Sign never mutates the memo as long as every element ID
+// it encounters is below Len, making it safe for concurrent use by
+// parallel signing workers (the table was sized from the dataset's
+// maximum interned value, so dataset signing qualifies). An
+// out-of-table ID degrades safely for IDs ≥ the growth limit (hashed
+// directly, no mutation) but must not occur below it.
+func (m *Memo) Fill(workers int) {
+	if workers < 2 {
+		for x := 0; x < len(m.cols); x++ {
+			if m.cols[x] == nil {
+				m.cols[x] = m.scheme.fam.HashAll(uint64(x), m.newCol())
+			}
+		}
+		return
+	}
+	sigLen := m.scheme.SignatureLen()
+	par.Ranges(len(m.cols), workers, func(lo, hi int) {
+		// Workers write disjoint cols entries and carve columns from a
+		// private slab, never from the shared arena.
+		missing := 0
+		for x := lo; x < hi; x++ {
+			if m.cols[x] == nil {
+				missing++
+			}
+		}
+		slab := make([]uint64, missing*sigLen)
+		for x := lo; x < hi; x++ {
+			if m.cols[x] != nil {
+				continue
+			}
+			col := slab[:sigLen:sigLen]
+			slab = slab[sigLen:]
+			m.cols[x] = m.scheme.fam.HashAll(uint64(x), col)
+		}
+	})
+}
+
+// Len returns the memo table length: the exclusive upper bound on
+// element IDs that Fill precomputes and that a filled memo can sign
+// without mutation.
+func (m *Memo) Len() int { return len(m.cols) }
 
 // Sign computes the MinHash signature of set into dst and returns dst,
 // exactly as Scheme.Sign would, memoizing each distinct element's hash

@@ -1,6 +1,7 @@
 package minhash
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -62,5 +63,64 @@ func TestMemoHugeIDsUncached(t *testing.T) {
 	}
 	if len(memo.cols) >= 1<<30 {
 		t.Fatalf("memo table ballooned to %d entries", len(memo.cols))
+	}
+}
+
+// TestMemoFillMatchesScheme pins Fill's contract: every precomputed
+// column yields signatures bit-identical to Scheme.Sign, whether the
+// fill ran serially or sharded, and whether some columns were already
+// warm.
+func TestMemoFillMatchesScheme(t *testing.T) {
+	s := NewScheme(24, 7)
+	for _, workers := range []int{1, 4} {
+		memo := s.NewMemo(50)
+		memo.Sign([]uint64{3, 9}, make([]uint64, s.SignatureLen())) // warm a couple of columns
+		memo.Fill(workers)
+		if memo.Len() != 50 {
+			t.Fatalf("Len = %d, want 50", memo.Len())
+		}
+		got := make([]uint64, s.SignatureLen())
+		want := make([]uint64, s.SignatureLen())
+		for x := uint64(0); x < 50; x++ {
+			memo.Sign([]uint64{x}, got)
+			s.Sign([]uint64{x}, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d value %d position %d: memo %d, scheme %d",
+						workers, x, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMemoFillConcurrentSign exercises the read-only-after-Fill
+// guarantee under the race detector: many goroutines signing in-table
+// IDs through one shared filled memo.
+func TestMemoFillConcurrentSign(t *testing.T) {
+	s := NewScheme(16, 3)
+	memo := s.NewMemo(32)
+	memo.Fill(4)
+	want := s.Signature([]uint64{1, 5, 30})
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			sig := make([]uint64, s.SignatureLen())
+			for trial := 0; trial < 100; trial++ {
+				memo.Sign([]uint64{1, 5, 30}, sig)
+				for i := range sig {
+					if sig[i] != want[i] {
+						done <- fmt.Errorf("position %d: %d != %d", i, sig[i], want[i])
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

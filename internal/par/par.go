@@ -1,0 +1,38 @@
+// Package par holds the one concurrency shape the parallel bootstrap
+// pipeline is built from: sharding a contiguous index range across a
+// fixed set of worker goroutines. Centralising it keeps the shard
+// arithmetic (and any future change: chunking, panic propagation,
+// cancellation polling) in one place instead of once per call site.
+package par
+
+import "sync"
+
+// Ranges invokes fn(lo, hi) for a partition of [0, n) into at most
+// workers contiguous, non-empty shards. With workers < 2 (or n < 2)
+// the single shard runs on the calling goroutine; otherwise every
+// shard runs on its own goroutine and Ranges returns after all
+// complete. fn must confine its writes to the shard it was given.
+func Ranges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		lo, hi := g*n/workers, (g+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

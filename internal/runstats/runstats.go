@@ -52,6 +52,19 @@ type Run struct {
 	// assignment plus, for accelerated runs, MinHashing the dataset and
 	// building the index (the paper's "initial extra step").
 	Bootstrap time.Duration
+	// BootstrapSign, BootstrapBuild and BootstrapAssign split Bootstrap
+	// into its pipeline phases: signing every item (computing MinHash /
+	// SimHash band keys), constructing the index, and the first
+	// assignment. Phases that a path interleaves into another stay
+	// zero: the serial full-scan bootstrap signs inside its insert loop
+	// (charged to BootstrapBuild), and the seeded bootstrap interleaves
+	// inserts with assignment (charged to BootstrapAssign, with
+	// BootstrapSign non-zero only on the presigned parallel path).
+	// Their sum is at most Bootstrap; the remainder is untimed setup
+	// (accelerator reset, incremental-engine initialisation).
+	BootstrapSign   time.Duration
+	BootstrapBuild  time.Duration
+	BootstrapAssign time.Duration
 	// Iterations holds one entry per pass, in order.
 	Iterations []Iteration
 	// Converged reports whether the run stopped because no item moved
@@ -110,13 +123,18 @@ func (r *Run) Speedup(other *Run) float64 {
 func WriteCSV(w io.Writer, runs []*Run) error {
 	cw := csv.NewWriter(w)
 	header := []string{"run", "iteration", "duration_ms", "moves",
-		"comparisons", "avg_shortlist", "cost", "active_items", "skipped_items"}
+		"comparisons", "avg_shortlist", "cost", "active_items", "skipped_items",
+		"bootstrap_sign_ms", "bootstrap_build_ms", "bootstrap_assign_ms"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("runstats: writing CSV header: %w", err)
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 	for _, r := range runs {
-		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", "", "", ""}
+		// The pseudo-iteration 0 row carries the bootstrap duration and
+		// its per-phase split; iteration rows leave the phase columns
+		// empty.
+		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", "", "", "",
+			f(ms(r.BootstrapSign)), f(ms(r.BootstrapBuild)), f(ms(r.BootstrapAssign))}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("runstats: writing CSV: %w", err)
 		}
@@ -131,6 +149,7 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 				f(it.Cost),
 				strconv.Itoa(it.ActiveItems),
 				strconv.Itoa(it.SkippedItems),
+				"", "", "",
 			}
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("runstats: writing CSV: %w", err)

@@ -10,8 +10,11 @@ import (
 
 func sampleRun() *Run {
 	return &Run{
-		Name:      "MH-K-Modes 20b 5r",
-		Bootstrap: 100 * time.Millisecond,
+		Name:            "MH-K-Modes 20b 5r",
+		Bootstrap:       100 * time.Millisecond,
+		BootstrapSign:   40 * time.Millisecond,
+		BootstrapBuild:  10 * time.Millisecond,
+		BootstrapAssign: 45 * time.Millisecond,
 		Iterations: []Iteration{
 			{Index: 1, Duration: 50 * time.Millisecond, Moves: 40, Comparisons: 900,
 				CandidatesTotal: 120, AvgShortlist: 1.2, Cost: 420},
@@ -69,11 +72,20 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "run,iteration,duration_ms") {
 		t.Fatalf("header = %q", lines[0])
 	}
+	if !strings.HasSuffix(lines[0], "bootstrap_sign_ms,bootstrap_build_ms,bootstrap_assign_ms") {
+		t.Fatalf("header missing bootstrap phase columns: %q", lines[0])
+	}
 	if !strings.Contains(lines[1], ",0,100") {
 		t.Fatalf("bootstrap row = %q", lines[1])
 	}
+	if !strings.HasSuffix(lines[1], ",40,10,45") {
+		t.Fatalf("bootstrap row missing phase split: %q", lines[1])
+	}
 	if !strings.Contains(lines[2], ",1,50,40,900,1.2,420") {
 		t.Fatalf("iteration row = %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[2], ",,,") {
+		t.Fatalf("iteration row should leave phase columns empty: %q", lines[2])
 	}
 }
 

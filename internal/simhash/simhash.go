@@ -88,6 +88,9 @@ type Accelerator struct {
 	index  *lsh.Index
 	k      int
 	sigBuf []uint64
+	// presigned is the flat band-key arena SignAll computed; nil until
+	// SignAll, released to the index by BuildFrozen.
+	presigned []uint64
 }
 
 // NewAccelerator creates a SimHash accelerator for the given K-Means
@@ -120,7 +123,45 @@ func (a *Accelerator) Reset(numClusters int) error {
 	}
 	a.index = ix
 	a.k = numClusters
+	a.presigned = nil
 	return nil
+}
+
+// SignAll computes every point's band keys into a flat arena, sharding
+// the signing across workers goroutines (core.BulkIndexer). The scheme
+// is immutable and point reads are concurrency-safe, so workers need
+// only private signature scratch.
+func (a *Accelerator) SignAll(workers int, stop func() bool) error {
+	if a.index == nil {
+		return fmt.Errorf("simhash: SignAll before Reset")
+	}
+	a.presigned = lsh.SignAll(a.params, a.space.NumItems(), workers, func() lsh.SignFunc {
+		return func(item int32, sig []uint64) {
+			a.scheme.Sign(a.space.Point(int(item)), sig)
+		}
+	}, stop)
+	return nil
+}
+
+// BuildFrozen constructs the frozen index directly from the presigned
+// keys, parallel across bands (core.BulkIndexer).
+func (a *Accelerator) BuildFrozen(workers int) error {
+	if a.presigned == nil {
+		return fmt.Errorf("simhash: BuildFrozen before SignAll")
+	}
+	err := a.index.BuildFrozen(a.presigned, a.space.NumItems(), workers)
+	a.presigned = nil
+	return err
+}
+
+// InsertPresigned files one point under its presigned band keys on the
+// map-based builder (core.BulkIndexer).
+func (a *Accelerator) InsertPresigned(item int32) error {
+	if a.presigned == nil {
+		return fmt.Errorf("simhash: InsertPresigned before SignAll")
+	}
+	bands := a.params.Bands
+	return a.index.InsertKeys(item, a.presigned[int(item)*bands:(int(item)+1)*bands])
 }
 
 // Insert signs point item and files it under its band buckets.
@@ -133,10 +174,14 @@ func (a *Accelerator) Insert(item int32) error {
 }
 
 // Freeze compacts the index for the iteration phase (core.Freezer).
+// It also releases the presigned key arena: after the seeded
+// bootstrap's interleave every key has been filed into the index, so
+// retaining the arena through the iterations would only duplicate it.
 func (a *Accelerator) Freeze() {
 	if a.index != nil {
 		a.index.Freeze()
 	}
+	a.presigned = nil
 }
 
 // NewQuerier returns a query handle with private scratch.

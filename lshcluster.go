@@ -88,8 +88,9 @@ type Config struct {
 	Seed int64
 	// MaxIterations caps the iteration count (0 = 100).
 	MaxIterations int
-	// Workers parallelises the assignment step; values > 1 imply
-	// deferred reference updates.
+	// Workers parallelises the assignment step and the bootstrap
+	// (signing, index construction and the first assignment); values
+	// > 1 imply deferred reference updates.
 	Workers int
 	// EarlyAbandon stops distance evaluations that provably cannot beat
 	// the best candidate so far.
@@ -110,6 +111,12 @@ type Config struct {
 	// previous pass (results are bit-identical either way); this
 	// switch is the correctness oracle and A/B baseline.
 	DisableActiveFilter bool
+	// DisableParallelBootstrap forces the serial bootstrap — the
+	// per-item sign+insert loop and single-threaded first assignment —
+	// instead of the parallel sign → build → assign pipeline (results
+	// are bit-identical either way); this switch is the correctness
+	// oracle and A/B baseline.
+	DisableParallelBootstrap bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes.
 	OnIteration func(Iteration)
@@ -119,12 +126,13 @@ type Config struct {
 
 func (c Config) coreOptions() core.Options {
 	opts := core.Options{
-		MaxIterations:       c.MaxIterations,
-		EarlyAbandon:        c.EarlyAbandon,
-		Workers:             c.Workers,
-		OnIteration:         c.OnIteration,
-		Context:             c.Context,
-		DisableActiveFilter: c.DisableActiveFilter,
+		MaxIterations:            c.MaxIterations,
+		EarlyAbandon:             c.EarlyAbandon,
+		Workers:                  c.Workers,
+		OnIteration:              c.OnIteration,
+		Context:                  c.Context,
+		DisableActiveFilter:      c.DisableActiveFilter,
+		DisableParallelBootstrap: c.DisableParallelBootstrap,
 	}
 	if c.SeededBootstrap {
 		opts.Bootstrap = core.BootstrapSeeded

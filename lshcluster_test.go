@@ -73,6 +73,32 @@ func TestClusterOptionsPlumbing(t *testing.T) {
 	}
 }
 
+// TestClusterParallelBootstrapEquivalence checks the facade-level A/B:
+// the parallel bootstrap pipeline and its serial oracle must produce
+// identical clusterings, and the pipeline must report its phase split.
+func TestClusterParallelBootstrapEquivalence(t *testing.T) {
+	ds := syntheticDataset(t)
+	cfg := Config{K: 15, Seed: 2, LSH: &Params{Bands: 10, Rows: 2}, Workers: 4, MaxIterations: 6}
+	par, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableParallelBootstrap = true
+	ser, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Assign {
+		if par.Assign[i] != ser.Assign[i] {
+			t.Fatalf("assign[%d]: parallel %d, serial %d", i, par.Assign[i], ser.Assign[i])
+		}
+	}
+	if par.Stats.BootstrapSign <= 0 || par.Stats.BootstrapBuild <= 0 || par.Stats.BootstrapAssign <= 0 {
+		t.Fatalf("parallel bootstrap phases not recorded: sign=%v build=%v assign=%v",
+			par.Stats.BootstrapSign, par.Stats.BootstrapBuild, par.Stats.BootstrapAssign)
+	}
+}
+
 func TestClusterErrors(t *testing.T) {
 	ds := syntheticDataset(t)
 	if _, err := Cluster(ds, Config{K: 0}); err == nil {
