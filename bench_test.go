@@ -507,6 +507,62 @@ func BenchmarkBootstrapSerialOracle(b *testing.B) { benchBootstrapPipeline(b, 1,
 func BenchmarkBootstrapPipeline1(b *testing.B)    { benchBootstrapPipeline(b, 1, false) }
 func BenchmarkBootstrapPipeline4(b *testing.B)    { benchBootstrapPipeline(b, 4, false) }
 
+// ---- item-sharded index ----
+
+// benchShardedRun is the shard A/B on the 100k workload: a full-scan
+// accelerated run at the given shard count, reporting the bootstrap
+// build phase (per-shard parallel at S>1), the mean iteration time
+// (the batched-query phase the shards serve) and the cross-shard merge
+// overhead. S=1 is the unsharded oracle — results are bit-identical
+// across shard counts (enforced by the equivalence tests), so the pair
+// isolates the cost/benefit of partitioning alone.
+func benchShardedRun(b *testing.B, shards int) {
+	const k = 1000
+	ds := signWorkload(b)
+	var boot, build, merge, iter time.Duration
+	var iters int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: k, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(space, core.Options{
+			Accelerator:   accel,
+			SkipCost:      true,
+			MaxIterations: 4,
+			Workers:       4,
+			Update:        core.UpdateDeferred,
+			Shards:        shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		boot += res.Stats.Bootstrap
+		build += res.Stats.BootstrapBuild
+		merge += res.Stats.CrossShardMerge
+		for _, it := range res.Stats.Iterations {
+			iter += it.Duration
+			iters++
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(boot.Milliseconds())/n, "bootstrap_ms")
+	b.ReportMetric(float64(build.Milliseconds())/n, "build_ms")
+	b.ReportMetric(float64(merge.Milliseconds())/n, "crossshard_merge_ms")
+	if iters > 0 {
+		b.ReportMetric(float64(iter.Milliseconds())/float64(iters), "iter_ms")
+	}
+}
+
+func BenchmarkShardedRun1(b *testing.B) { benchShardedRun(b, 1) }
+func BenchmarkShardedRun4(b *testing.B) { benchShardedRun(b, 4) }
+
 // benchCandidates measures the recurring per-iteration collision
 // lookup over every indexed item, on the map-based builder layout vs
 // the frozen CSR layout.

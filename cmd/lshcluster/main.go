@@ -51,11 +51,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	modelOut := fs.String("model", "", "write the trained modes (gob) to this file")
 	statsCSV := fs.String("stats", "", "write per-iteration statistics CSV to this file")
 	workers := fs.Int("workers", 1, "parallel assignment workers (forces deferred updates)")
+	shards := fs.Int("shards", 1, "item-partitioned LSH index shards (1 = unsharded oracle; results are identical for every value)")
 	seeded := fs.Bool("seeded-bootstrap", false, "use the seeded-index bootstrap instead of a full first pass")
 	abandon := fs.Bool("early-abandon", false, "enable early-abandon distance evaluation")
 	lowestTie := fs.Bool("lowest-index-ties", false, "break distance ties to the lowest cluster index (numpy-style)")
 	noActive := fs.Bool("no-active-filter", false, "evaluate every item each pass instead of only the active set (A/B baseline; results are identical)")
 	noParallelBoot := fs.Bool("no-parallel-bootstrap", false, "run the serial per-item bootstrap instead of the parallel sign/build/assign pipeline (A/B baseline; results are identical)")
+	noImmediateBatch := fs.Bool("no-immediate-batching", false, "evaluate immediate-update passes item by item instead of in move-bounded blocks (A/B baseline; results are identical)")
 	initMethod := fs.String("init", "random", "initial centroid selection: random | huang | cao")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,8 +105,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxIterations:            *maxIter,
 		EarlyAbandon:             *abandon,
 		Workers:                  *workers,
+		Shards:                   *shards,
 		DisableActiveFilter:      *noActive,
 		DisableParallelBootstrap: *noParallelBoot,
+		DisableImmediateBatching: *noImmediateBatch,
 		OnIteration: func(it runstats.Iteration) {
 			fmt.Fprintf(stderr, "lshcluster: iter %d: %v, %d moves, avg shortlist %.2f\n",
 				it.Index, it.Duration.Round(it.Duration/100+1), it.Moves, it.AvgShortlist)
@@ -136,6 +140,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		run.BootstrapSign.Round(time.Millisecond),
 		run.BootstrapBuild.Round(time.Millisecond),
 		run.BootstrapAssign.Round(time.Millisecond))
+	if run.Shards > 1 {
+		slowest := 0
+		for s, d := range run.BootstrapBuildShards {
+			if d > run.BootstrapBuildShards[slowest] {
+				slowest = s
+			}
+		}
+		var slowestBuild time.Duration
+		if len(run.BootstrapBuildShards) > 0 {
+			slowestBuild = run.BootstrapBuildShards[slowest]
+		}
+		fmt.Fprintf(stderr, "lshcluster: %d index shards (slowest build: shard %d at %v; cross-shard merge %v)\n",
+			run.Shards, slowest, slowestBuild.Round(time.Millisecond),
+			run.CrossShardMerge.Round(time.Millisecond))
+	}
 	if *exact {
 		run.Name = "K-Modes"
 	} else {

@@ -96,7 +96,55 @@
 //   - Snapshot-view passes (deferred updates, parallel workers) gather
 //     candidate shortlists for blocks of items in one band-major sweep
 //     of the frozen index, amortising cache misses and per-item
-//     dispatch across the block.
+//     dispatch across the block. Immediate-update passes batch the
+//     same way with blocks cut at move boundaries: positions decided
+//     before a move saw exactly the live view the per-item loop would
+//     have shown them, and positions after a move are discarded and
+//     re-gathered, so results stay bit-identical to the per-item
+//     oracle (Config.DisableImmediateBatching).
+//
+// # Item-sharded index
+//
+// The banding index can be partitioned by item into S independent
+// shards (Config.Shards; the default 1 is the unsharded oracle). Each
+// shard owns a contiguous global-ID range — shard s holds items
+// [s·n/S, (s+1)·n/S), a pure function of n and S — with its own band
+// buckets, frozen CSR arrays, key tables and reverse view. Shards
+// build concurrently from disjoint slices of the presigned key arena
+// (routing is a re-slice, not a scatter), stay individually
+// cache-resident where one monolithic table would not, and are
+// independently freezable — the unit a future serving layout evicts or
+// places on separate machines. The streaming clusterer shards too
+// (StreamConfig.Shards), routing item i to shard i mod S so no single
+// map builder serialises the stream.
+//
+// Sharding never changes results. A query planner fans each candidate
+// sweep out across shards and merges the shard-local buckets back into
+// ascending global-ID order — free concatenation for range shards, an
+// S-way merge for stream (stride) shards — and bucket contents are
+// kept in ascending ID order as an index invariant, so candidate
+// enumeration (and therefore tie-breaking, and therefore every
+// assignment) is a function of bucket membership alone, independent of
+// the partition. Full runs are bit-identical across shard counts,
+// enforced by equivalence tests over both spaces, both bootstrap
+// modes, and worker counts. The cost is an explicit, measured fan-out
+// tax on queries (per-band probes into the other shards' key tables),
+// reported as Run.CrossShardMerge and the crossshard_merge_ms CSV
+// column, alongside the per-shard build breakdown
+// (Run.BootstrapBuildShards).
+//
+// # Seeded bootstrap semantics
+//
+// BootstrapSeeded now does what it describes: after the k seeds are
+// indexed, every other item queries the growing index with its own
+// band keys (presigned, or signed on the spot on the serial oracle
+// path) before being inserted, falling back to an exact scan only when
+// the shortlist is genuinely empty. Earlier versions queried through
+// the inserted-items-only path, so every non-seed shortlist came back
+// empty and the exact fallback always ran; seeded-bootstrap
+// assignments differ accordingly from those versions (the equivalence
+// tests re-baseline, and the serial/parallel and sharded variants
+// remain bit-identical to each other).
 //
 // The cmd/ directory provides datagen (paper-style synthetic workloads),
 // lshcluster (clustering CLI), lshtune (banding-parameter exploration,

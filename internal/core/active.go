@@ -54,16 +54,21 @@ const (
 // sweep (amortising cache misses across the block; see
 // lsh.Index.CandidatesBatch) implement it. The driver uses it for
 // snapshot-view passes — serial deferred and parallel — where a block's
-// shortlists are independent of the moves decided inside the block.
-// Immediate-mode passes never batch: their shortlists must observe
-// moves made earlier in the same pass, item by item.
+// shortlists are independent of the moves decided inside the block,
+// and for the immediate-update pass, which cuts blocks at move
+// boundaries: the moment an item moves, the remaining positions'
+// shortlists are discarded and re-gathered against the updated live
+// view (see driver.immediateBlockPass).
 type BlockQuerier interface {
 	Querier
 	// CandidatesBlock computes Candidates(items[pos], assign) for every
-	// pos and calls emit once per pos in ascending order. Each
-	// shortlist has exactly the contents and enumeration order the
-	// per-item Candidates call would produce and is valid only inside
-	// its emit invocation.
+	// pos — every shortlist against assign as observed at call time —
+	// and calls emit once per pos in ascending order. Each shortlist
+	// has exactly the contents and enumeration order the per-item
+	// Candidates call would produce and is valid only inside its emit
+	// invocation. Mutations emit makes to assign must not leak into the
+	// same block's other shortlists (the move-boundary pass relies on
+	// discarding instead).
 	CandidatesBlock(items []int32, assign []int32, emit func(pos int, shortlist []int32))
 }
 

@@ -98,17 +98,17 @@ const (
 	BootstrapFullScan BootstrapMode = iota
 	// BootstrapSeeded is an ablation variant: the k seed items are
 	// indexed and assigned to their own clusters first; every other
-	// item is then queried against the growing index, falling back to
-	// an exact scan when its shortlist is empty, and indexed
-	// immediately after. Note the query runs before the item's own
-	// insertion and Querier.Candidates only answers for indexed items,
-	// so as implemented every non-seed shortlist is empty and the
-	// exact-scan fallback always runs — the mode currently differs
-	// from BootstrapFullScan only in its per-item interleave (the
-	// equivalence oracle and tests pin this behaviour; having the
-	// growing index actually answer, e.g. by querying the item's
-	// presigned band keys, would change assignments and is left as a
-	// ROADMAP item).
+	// item is then queried against the growing index — by its own band
+	// keys, before its insertion, via the accelerator's
+	// UnindexedQuerier capability — falling back to an exact scan when
+	// its shortlist is empty, and indexed immediately after. Both
+	// built-in accelerators implement the capability (the serial oracle
+	// signs the item on the spot; the presigned pipeline reuses the
+	// SignAll arena — identical keys, so the paths stay bit-identical).
+	// An accelerator without the capability degrades to the historical
+	// behaviour, where Querier.Candidates answers only for indexed
+	// items, every non-seed shortlist is empty and the exact-scan
+	// fallback always runs.
 	BootstrapSeeded
 )
 
@@ -178,6 +178,14 @@ type Options struct {
 	// single-threaded. Requires UpdateDeferred when an Accelerator is
 	// set.
 	Workers int
+	// Shards partitions the accelerator's LSH index into this many
+	// item shards (ShardedIndexer accelerators only; others ignore it).
+	// Values < 2 keep the single-shard index — the bit-identical
+	// oracle. Sharding never changes results: queries fan out across
+	// shards and merge back into the single-index candidate order, so
+	// every shard count produces identical runs (enforced by the
+	// shard-invariance equivalence tests).
+	Shards int
 	// DisableIncremental forces full RecomputeCentroids/Cost passes
 	// even when the Space implements IncrementalSpace. The batch path
 	// is the correctness oracle for the incremental engine; this switch
@@ -200,6 +208,16 @@ type Options struct {
 	// serial loop is the correctness oracle for that pipeline, and
 	// this switch exists for equivalence tests and A/B benchmarks.
 	DisableParallelBootstrap bool
+	// DisableImmediateBatching forces the immediate-update assignment
+	// pass to its per-item loop even when the querier supports block
+	// queries. By default the immediate pass gathers shortlists in
+	// blocks cut at move boundaries — every position decided before a
+	// move uses exactly the live view the per-item loop would have
+	// seen, and positions after a move are discarded and re-queried —
+	// so results are bit-identical; the per-item loop is the
+	// correctness oracle, and this switch exists for equivalence tests
+	// and A/B benchmarks.
+	DisableImmediateBatching bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes (progress reporting).
 	OnIteration func(runstats.Iteration)
@@ -345,6 +363,9 @@ func Run(space Space, opts Options) (*Result, error) {
 			d.prepareNextActive()
 		}
 	}
+	if sr, ok := opts.Accelerator.(ShardStatsReporter); ok {
+		res.Stats.Shards, res.Stats.BootstrapBuildShards, res.Stats.CrossShardMerge = sr.ShardStats()
+	}
 	return res, nil
 }
 
@@ -428,6 +449,13 @@ func (d *driver) bootstrap() error {
 		d.bootstrapScan(workers, !serialOracle)
 		d.bootAssign = time.Since(start)
 		return ctxErr(d.opts.Context)
+	}
+	if si, ok := accel.(ShardedIndexer); ok {
+		shards := d.opts.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		si.SetShards(shards)
 	}
 	if err := accel.Reset(d.k); err != nil {
 		return fmt.Errorf("core: resetting accelerator: %w", err)
@@ -516,7 +544,17 @@ func (d *driver) bootstrap() error {
 				return fmt.Errorf("core: indexing seed %d: %w", item, err)
 			}
 		}
-		q := accel.NewQuerier()
+		// Query the growing index with each item's own band keys
+		// (UnindexedQuerier) so non-seed items genuinely consult what
+		// has been indexed so far; a Querier.Candidates call would
+		// answer only for already-inserted items and always come back
+		// empty. Accelerators without the capability keep the legacy
+		// empty-shortlist interleave.
+		uq, _ := accel.(UnindexedQuerier)
+		var q Querier
+		if uq == nil {
+			q = accel.NewQuerier()
+		}
 		poll := 0
 		for i := 0; i < d.n; i++ {
 			if isSeed[i] {
@@ -528,7 +566,12 @@ func (d *driver) bootstrap() error {
 					return err
 				}
 			}
-			shortlist := q.Candidates(int32(i), d.assign)
+			var shortlist []int32
+			if uq != nil {
+				shortlist = uq.CandidatesUnindexed(int32(i), d.assign)
+			} else {
+				shortlist = q.Candidates(int32(i), d.assign)
+			}
 			if len(shortlist) == 0 {
 				d.fullScanRange(i, i+1, d.assign, nil)
 			} else {
@@ -538,7 +581,7 @@ func (d *driver) bootstrap() error {
 				return fmt.Errorf("core: indexing item %d: %w", i, err)
 			}
 		}
-		d.bootAssign = time.Since(start) // includes interleaved inserts
+		d.bootAssign = time.Since(start) // includes interleaved inserts and queries
 	default:
 		return fmt.Errorf("core: unknown bootstrap mode %d", d.opts.Bootstrap)
 	}
@@ -722,12 +765,85 @@ func (d *driver) pass() passStats {
 			return d.serialBlockPass(bq, view)
 		}
 	}
+	if d.opts.Update == UpdateImmediate && !d.opts.DisableImmediateBatching {
+		if bq, ok := d.querier.(BlockQuerier); ok {
+			return d.immediateBlockPass(bq)
+		}
+	}
 	return d.serialPass(view)
 }
 
-// serialPass is the single-threaded per-item pass: immediate mode
-// always (its live view must observe each move before the next item is
-// queried), and the deferred fallback for queriers without block
+// immediateBlockPass is the single-threaded immediate-update pass over
+// a block-capable querier: shortlists are gathered queryBlockLen items
+// at a time against the *live* assignment, and blocks are cut at move
+// boundaries so the live view stays correct. Every shortlist in a
+// block is computed against the assignment as of the block's start;
+// positions decided before the first move saw exactly the state the
+// per-item loop would have shown them (no move happened since the
+// block began), and the mover's own shortlist predates its move. The
+// moment an item moves, the rest of the block is discarded — those
+// positions re-gather from the item after the mover, observing the
+// move and any active-set flags it raised, exactly like the per-item
+// loop. Late sparse passes move almost nothing, so most blocks
+// complete whole and the pass keeps the batched sweep's cache wins;
+// Options.DisableImmediateBatching retains the per-item loop as the
+// bit-identical oracle.
+func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
+	filtered := d.filtered()
+	var buf [queryBlockLen]int32
+	poll := 0
+	for next := 0; next < d.n; {
+		// Gather the next block, reading active flags live: flags set by
+		// an earlier move in this pass are honoured exactly as the
+		// per-item loop's cursor would honour them.
+		blk := buf[:0]
+		i := next
+		for ; i < d.n && len(blk) < queryBlockLen; i++ {
+			if filtered && !d.act.cur[i] {
+				continue
+			}
+			blk = append(blk, int32(i))
+		}
+		next = i
+		if len(blk) == 0 {
+			return ps
+		}
+		if poll += len(blk); poll >= ctxPollEvery {
+			poll = 0
+			if ctxErr(d.opts.Context) != nil {
+				return ps
+			}
+		}
+		movedAt := -1
+		bq.CandidatesBlock(blk, d.assign, func(pos int, shortlist []int32) {
+			if movedAt >= 0 {
+				return // discarded tail: stale after the move
+			}
+			it := int(blk[pos])
+			cur := d.assign[it]
+			ps.cands += int64(len(shortlist))
+			best := d.bestOf(it, int(cur), shortlist, &ps.comps)
+			ps.evaluated++
+			if best != cur {
+				d.assign[it] = best
+				if d.inc != nil {
+					d.inc.ApplyMove(it, cur, best)
+				}
+				ps.moves++
+				d.noteMove(it)
+				movedAt = pos
+			}
+		})
+		if movedAt >= 0 {
+			next = int(blk[movedAt]) + 1
+		}
+	}
+	return ps
+}
+
+// serialPass is the single-threaded per-item pass: the immediate-mode
+// oracle (DisableImmediateBatching, or a querier without block
+// support), and the deferred fallback for queriers without block
 // support. A filtered pass walks the full index range but only
 // evaluates flagged items — the O(n) flag scan is noise next to a
 // single shortlist query, and it picks up the flags immediate-mode

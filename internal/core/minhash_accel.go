@@ -14,20 +14,24 @@ import (
 // their *present* attribute values (Algorithm 2 lines 1–5); queries map
 // colliding items to their current clusters and deduplicate, yielding the
 // candidate-cluster shortlist (lines 10–12).
+//
+// The index is an item-partitioned lsh.Sharded — a single shard by
+// default (the bit-identical unsharded oracle), S shards under
+// Options.Shards via the ShardedIndexer capability. Shard count never
+// changes results; it changes how the index is built (per-shard
+// parallel, from disjoint arena slices) and laid out (per-shard
+// cache-resident tables). The embedded ShardedIndexBase carries the
+// shared index/arena state machine; this type adds the MinHash
+// signing (with its hash-column memo).
 type MinHashAccelerator struct {
-	ds     *dataset.Dataset
-	params lsh.Params
-	seed   uint64
-	index  *lsh.Index
-	k      int
-	maxVal dataset.Value
-	memo   *minhash.Memo
-	setBuf []uint64
-	sigBuf []uint64
-	// presigned is the flat band-key arena SignAll computed
-	// (keys[item·Bands+band]); nil until SignAll, released to the index
-	// by BuildFrozen.
-	presigned []uint64
+	ShardedIndexBase
+	ds      *dataset.Dataset
+	mhParam lsh.Params
+	seed    uint64
+	maxVal  dataset.Value
+	memo    *minhash.Memo
+	setBuf  []uint64
+	sigBuf  []uint64
 }
 
 // NewMinHashAccelerator creates an accelerator for ds with the given
@@ -37,32 +41,22 @@ func NewMinHashAccelerator(ds *dataset.Dataset, params lsh.Params, seed uint64) 
 		return nil, err
 	}
 	return &MinHashAccelerator{
-		ds:     ds,
-		params: params,
-		seed:   seed,
+		ds:      ds,
+		mhParam: params,
+		seed:    seed,
 		// Sizes the hash-column memo: interned value IDs are dense.
 		maxVal: ds.MaxValue(),
 	}, nil
 }
 
-// Params returns the banding configuration.
-func (a *MinHashAccelerator) Params() lsh.Params { return a.params }
-
-// Index exposes the underlying LSH index (nil before Reset), e.g. for
-// bucket-occupancy diagnostics.
-func (a *MinHashAccelerator) Index() *lsh.Index { return a.index }
+// Params returns the banding configuration (also valid before Reset).
+func (a *MinHashAccelerator) Params() lsh.Params { return a.mhParam }
 
 // Reset discards any previous index and prepares a fresh one.
 func (a *MinHashAccelerator) Reset(numClusters int) error {
-	if numClusters < 1 {
-		return fmt.Errorf("core: numClusters must be ≥ 1, got %d", numClusters)
-	}
-	ix, err := lsh.NewIndex(a.params, a.seed, a.ds.NumItems())
-	if err != nil {
+	if err := a.ResetIndex(a.mhParam, a.seed, a.ds.NumItems(), numClusters); err != nil {
 		return err
 	}
-	a.index = ix
-	a.k = numClusters
 	// Categorical values repeat across items, so each distinct value's
 	// hash column can be computed once and signing becomes element-wise
 	// mins over cached columns — identical signatures, far cheaper
@@ -72,12 +66,11 @@ func (a *MinHashAccelerator) Reset(numClusters int) error {
 	// both, falling back to direct hashing otherwise.
 	a.memo = nil
 	occurrences := int64(a.ds.NumItems()) * int64(a.ds.NumAttrs())
-	footprint := (int64(a.maxVal) + 1) * int64(a.params.SignatureLen()) * 8
+	footprint := (int64(a.maxVal) + 1) * int64(a.mhParam.SignatureLen()) * 8
 	if occurrences >= memoMinReuse*(int64(a.maxVal)+1) && footprint <= memoMaxFootprint {
-		a.memo = ix.Scheme().NewMemo(int(a.maxVal) + 1)
+		a.memo = a.Index().Scheme().NewMemo(int(a.maxVal) + 1)
 	}
-	a.sigBuf = make([]uint64, a.params.SignatureLen())
-	a.presigned = nil
+	a.sigBuf = make([]uint64, a.mhParam.SignatureLen())
 	return nil
 }
 
@@ -93,16 +86,17 @@ const memoMinReuse = 8
 const memoMaxFootprint = 1 << 20
 
 // Insert MinHashes item (via the memoized hash columns when the value
-// dictionary is dense enough) and files it under its band buckets.
+// dictionary is dense enough) and files it in its owning shard.
 func (a *MinHashAccelerator) Insert(item int32) error {
-	if a.index == nil {
+	ix := a.Index()
+	if ix == nil {
 		return fmt.Errorf("core: Insert before Reset")
 	}
 	a.setBuf = a.ds.PresentValues(int(item), a.setBuf[:0])
 	if a.memo != nil {
-		return a.index.InsertSignature(item, a.memo.Sign(a.setBuf, a.sigBuf))
+		return ix.InsertSignature(item, a.memo.Sign(a.setBuf, a.sigBuf))
 	}
-	return a.index.Insert(item, a.setBuf)
+	return ix.Insert(item, a.setBuf)
 }
 
 // SignAll computes every item's band keys into a flat arena, sharding
@@ -114,14 +108,15 @@ func (a *MinHashAccelerator) Insert(item int32) error {
 // with its own buffers. Keys are bit-identical to per-item Insert
 // signing.
 func (a *MinHashAccelerator) SignAll(workers int, stop func() bool) error {
-	if a.index == nil {
+	ix := a.Index()
+	if ix == nil {
 		return fmt.Errorf("core: SignAll before Reset")
 	}
 	if a.memo != nil {
 		a.memo.Fill(workers)
 	}
-	scheme := a.index.Scheme()
-	a.presigned = lsh.SignAll(a.params, a.ds.NumItems(), workers, func() lsh.SignFunc {
+	scheme := ix.Scheme()
+	return a.SignAllInto(workers, func() lsh.SignFunc {
 		var set []uint64
 		if a.memo != nil {
 			return func(item int32, sig []uint64) {
@@ -134,66 +129,34 @@ func (a *MinHashAccelerator) SignAll(workers int, stop func() bool) error {
 			scheme.Sign(set, sig)
 		}
 	}, stop)
-	return nil
 }
 
-// BuildFrozen constructs the frozen index directly from the presigned
-// keys, parallel across bands (core.BulkIndexer).
-func (a *MinHashAccelerator) BuildFrozen(workers int) error {
-	if a.presigned == nil {
-		return fmt.Errorf("core: BuildFrozen before SignAll")
-	}
-	err := a.index.BuildFrozen(a.presigned, a.ds.NumItems(), workers)
-	a.presigned = nil
-	return err
+// CandidatesUnindexed returns the candidate-cluster shortlist of a
+// not-yet-indexed item by querying the growing index with the item's
+// band keys (core.UnindexedQuerier): the presigned arena when SignAll
+// ran, a fresh signing otherwise (the serial bootstrap oracle). Serial
+// use only (shares signing and dedup scratch).
+func (a *MinHashAccelerator) CandidatesUnindexed(item int32, assign []int32) []int32 {
+	return a.CandidatesUnindexedWith(item, assign, func(item int32) []uint64 {
+		a.setBuf = a.ds.PresentValues(int(item), a.setBuf[:0])
+		if a.memo != nil {
+			return a.memo.Sign(a.setBuf, a.sigBuf)
+		}
+		return a.Index().Scheme().Sign(a.setBuf, a.sigBuf)
+	})
 }
 
-// InsertPresigned files one item under its presigned band keys on the
-// map-based builder (core.BulkIndexer).
-func (a *MinHashAccelerator) InsertPresigned(item int32) error {
-	if a.presigned == nil {
-		return fmt.Errorf("core: InsertPresigned before SignAll")
-	}
-	bands := a.params.Bands
-	return a.index.InsertKeys(item, a.presigned[int(item)*bands:(int(item)+1)*bands])
-}
-
-// Freeze compacts the index for the iteration phase (core.Freezer).
-// It also releases the presigned key arena: after the seeded
-// bootstrap's interleave every key has been filed into the index, so
-// retaining the arena through the iterations would only duplicate it.
-func (a *MinHashAccelerator) Freeze() {
-	if a.index != nil {
-		a.index.Freeze()
-	}
-	a.presigned = nil
-}
-
-// NewQuerier returns a query handle with its own deduplication scratch.
-func (a *MinHashAccelerator) NewQuerier() Querier {
-	return NewIndexQuerier(a.index, a.k)
-}
-
-// NewReverse returns a reverse-collision view over the frozen index
-// (core.ReverseQuerier), or nil before Reset or before the index is
-// frozen — the driver then simply runs without active-set filtering.
-func (a *MinHashAccelerator) NewReverse() ReverseView {
-	if a.index == nil {
-		return nil
-	}
-	if r := a.index.NewReverse(); r != nil {
-		return r
-	}
-	return nil
-}
-
-// IndexQuerier adapts a populated lsh.Index into a Querier: colliding
-// items are mapped through the live assignment and deduplicated into a
-// cluster shortlist with an epoch-stamp array (no per-query clearing).
-// Any LSH family that feeds an lsh.Index — MinHash here, SimHash in the
+// IndexQuerier adapts a populated lsh.Sharded index into a Querier:
+// colliding items are mapped through the live assignment and
+// deduplicated into a cluster shortlist with an epoch-stamp array (no
+// per-query clearing). Candidate enumeration goes through the
+// lsh.Query planner, which fans sub-queries out across shards and
+// merges them back into the single-index order — so shortlist contents
+// and first-occurrence order are independent of the shard count. Any
+// LSH family that feeds an lsh.Index — MinHash here, SimHash in the
 // numeric extension — gets shortlist semantics from this adapter.
 type IndexQuerier struct {
-	index  *lsh.Index
+	q      *lsh.Query
 	stamps []uint32
 	epoch  uint32
 	buf    []int32
@@ -206,13 +169,12 @@ type IndexQuerier struct {
 
 // NewIndexQuerier creates a querier over index for a clustering with
 // numClusters clusters.
-func NewIndexQuerier(index *lsh.Index, numClusters int) *IndexQuerier {
-	return &IndexQuerier{index: index, stamps: make([]uint32, numClusters)}
+func NewIndexQuerier(index *lsh.Sharded, numClusters int) *IndexQuerier {
+	return &IndexQuerier{q: index.NewQuery(), stamps: make([]uint32, numClusters)}
 }
 
-// Candidates returns the deduplicated cluster shortlist for item. The
-// returned slice is reused by the next call.
-func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
+// beginDedup starts a fresh epoch and resets the shortlist buffer.
+func (q *IndexQuerier) beginDedup() {
 	q.epoch++
 	if q.epoch == 0 { // epoch counter wrapped: invalidate all stamps
 		for i := range q.stamps {
@@ -221,16 +183,45 @@ func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
 		q.epoch = 1
 	}
 	q.buf = q.buf[:0]
-	q.index.Candidates(item, func(other int32) {
-		c := assign[other]
-		if c < 0 {
-			return // not yet assigned (seeded bootstrap)
-		}
-		if q.stamps[c] != q.epoch {
-			q.stamps[c] = q.epoch
-			q.buf = append(q.buf, c)
-		}
-	})
+}
+
+// collect folds one colliding item into the deduplicated cluster
+// shortlist under assign.
+func (q *IndexQuerier) collect(other int32, assign []int32) {
+	c := assign[other]
+	if c < 0 {
+		return // not yet assigned (seeded bootstrap)
+	}
+	if q.stamps[c] != q.epoch {
+		q.stamps[c] = q.epoch
+		q.buf = append(q.buf, c)
+	}
+}
+
+// Candidates returns the deduplicated cluster shortlist for item. The
+// returned slice is reused by the next call.
+func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
+	q.beginDedup()
+	q.q.Candidates(item, func(other int32) { q.collect(other, assign) })
+	return q.buf
+}
+
+// CandidatesOfKeys returns the deduplicated cluster shortlist of an
+// un-inserted item identified by its presigned band keys — the seeded
+// bootstrap's query-before-insert. The returned slice is reused by the
+// next call.
+func (q *IndexQuerier) CandidatesOfKeys(keys []uint64, assign []int32) []int32 {
+	q.beginDedup()
+	q.q.CandidatesOfKeys(keys, func(other int32) { q.collect(other, assign) })
+	return q.buf
+}
+
+// CandidatesOfSignature returns the deduplicated cluster shortlist of
+// an un-inserted item identified by its signature. The returned slice
+// is reused by the next call.
+func (q *IndexQuerier) CandidatesOfSignature(sig []uint64, assign []int32) []int32 {
+	q.beginDedup()
+	q.q.CandidatesOfSignature(sig, func(other int32) { q.collect(other, assign) })
 	return q.buf
 }
 
@@ -240,9 +231,10 @@ func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
 // misses). Buckets for the block's positions arrive interleaved, so
 // deduplication uses a k-bit mark set per position instead of the
 // sequential epoch stamps; per position the buckets still arrive in
-// ascending band order, making each emitted shortlist — contents and
-// first-occurrence order — identical to Candidates. Shortlists are
-// valid only inside their emit invocation.
+// ascending band order (and ascending shard order within a band),
+// making each emitted shortlist — contents and first-occurrence order
+// — identical to Candidates. Shortlists are valid only inside their
+// emit invocation.
 func (q *IndexQuerier) CandidatesBlock(items []int32, assign []int32, emit func(pos int, shortlist []int32)) {
 	nb := len(items)
 	words := (len(q.stamps) + 63) / 64
@@ -255,7 +247,7 @@ func (q *IndexQuerier) CandidatesBlock(items []int32, assign []int32, emit func(
 	for pos := 0; pos < nb; pos++ {
 		q.lists[pos] = q.lists[pos][:0]
 	}
-	q.index.CandidatesBatch(items, func(pos int, bucket []int32) {
+	q.q.CandidatesBatch(items, func(pos int, bucket []int32) {
 		row := q.marks[pos*words : (pos+1)*words]
 		list := q.lists[pos]
 		for _, other := range bucket {

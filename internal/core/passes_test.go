@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/lsh"
+
+	"lshcluster/internal/core"
+)
+
+// countingSeededAccel wraps the MinHash accelerator to observe the
+// seeded bootstrap's unindexed queries; embedding forwards every other
+// capability (BulkIndexer, Freezer, ReverseQuerier, ShardedIndexer).
+type countingSeededAccel struct {
+	*core.MinHashAccelerator
+	queries  int
+	nonEmpty int
+}
+
+func (c *countingSeededAccel) CandidatesUnindexed(item int32, assign []int32) []int32 {
+	s := c.MinHashAccelerator.CandidatesUnindexed(item, assign)
+	c.queries++
+	if len(s) > 0 {
+		c.nonEmpty++
+	}
+	return s
+}
+
+// TestSeededBootstrapQueriesGrowingIndex pins the repaired seeded
+// semantics: non-seed items query the growing index by their own band
+// keys, and on a collision-dense workload most of those shortlists are
+// non-empty — the exact-scan fallback no longer always runs. Covered
+// for both the presigned pipeline and the serial signing oracle (whose
+// equivalence the bootstrap tests enforce).
+func TestSeededBootstrapQueriesGrowingIndex(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serialOracle=%v", serial), func(t *testing.T) {
+			space, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 2}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accel := &countingSeededAccel{MinHashAccelerator: inner}
+			_, err = core.Run(space, core.Options{
+				Accelerator:              accel,
+				Bootstrap:                core.BootstrapSeeded,
+				MaxIterations:            3,
+				DisableParallelBootstrap: serial,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ds.NumItems() - 30; accel.queries != want {
+				t.Fatalf("unindexed queries = %d, want one per non-seed item (%d)", accel.queries, want)
+			}
+			if accel.nonEmpty == 0 {
+				t.Fatal("every seeded-bootstrap shortlist was empty: the growing index is not being consulted")
+			}
+		})
+	}
+}
+
+// TestImmediateBatchingMatchesPerItem is the equivalence oracle for
+// the move-bounded block pass: immediate-update runs with and without
+// DisableImmediateBatching must be bit-identical in assignments,
+// per-iteration moves, costs, evaluated counts, comparisons and
+// shortlist totals — across tie-break modes and the active-set filter.
+func TestImmediateBatchingMatchesPerItem(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	run := func(tb core.TieBreak, noActive, disableBatch bool) *core.Result {
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(space, core.Options{
+			Accelerator:              accel,
+			Update:                   core.UpdateImmediate,
+			TieBreak:                 tb,
+			MaxIterations:            15,
+			DisableActiveFilter:      noActive,
+			DisableImmediateBatching: disableBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, tb := range []core.TieBreak{core.TieBreakPreferCurrent, core.TieBreakLowestIndex} {
+		for _, noActive := range []bool{false, true} {
+			t.Run(fmt.Sprintf("tb=%d/noActive=%v", tb, noActive), func(t *testing.T) {
+				blocked := run(tb, noActive, false)
+				oracle := run(tb, noActive, true)
+				for i := range oracle.Assign {
+					if oracle.Assign[i] != blocked.Assign[i] {
+						t.Fatalf("assign[%d]: blocked %d, per-item %d", i, blocked.Assign[i], oracle.Assign[i])
+					}
+				}
+				if blocked.Stats.Converged != oracle.Stats.Converged {
+					t.Fatalf("converged: blocked %v, per-item %v",
+						blocked.Stats.Converged, oracle.Stats.Converged)
+				}
+				if len(blocked.Stats.Iterations) != len(oracle.Stats.Iterations) {
+					t.Fatalf("iterations: blocked %d, per-item %d",
+						len(blocked.Stats.Iterations), len(oracle.Stats.Iterations))
+				}
+				for i := range oracle.Stats.Iterations {
+					a, b := oracle.Stats.Iterations[i], blocked.Stats.Iterations[i]
+					if a.Moves != b.Moves || a.Cost != b.Cost {
+						t.Fatalf("iteration %d: blocked moves=%d cost=%v, per-item moves=%d cost=%v",
+							i+1, b.Moves, b.Cost, a.Moves, a.Cost)
+					}
+					if a.ActiveItems != b.ActiveItems || a.Comparisons != b.Comparisons ||
+						a.CandidatesTotal != b.CandidatesTotal {
+						t.Fatalf("iteration %d work: blocked (eval %d, comps %d, cands %d), per-item (eval %d, comps %d, cands %d)",
+							i+1, b.ActiveItems, b.Comparisons, b.CandidatesTotal,
+							a.ActiveItems, a.Comparisons, a.CandidatesTotal)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lshcluster/internal/lsh"
+)
+
+// Sharding capabilities. The LSH index layer can partition its hash
+// tables by item into S independent shards (lsh.Sharded): shards build
+// in parallel from disjoint slices of the signing arena, stay
+// individually cache-resident, and are independently freezable — the
+// groundwork for serving tens of millions of items, where a future
+// layout places shards on separate machines. Queries fan out across
+// shards and merge the shard-local shortlists back into the exact
+// candidate stream a single index would produce, so sharding never
+// changes results: Options.Shards = 1 (the default) IS the unsharded
+// oracle, and every shard count is bit-identical to it (pinned by the
+// shard-invariance equivalence tests).
+
+// ShardedIndexer is an optional Accelerator capability: accelerators
+// whose index supports item partitioning implement it. The driver
+// calls SetShards once per Run, before Reset, with max(1,
+// Options.Shards); Reset then builds the index with that many shards.
+// Accelerators without the capability simply ignore Options.Shards.
+type ShardedIndexer interface {
+	// SetShards configures the shard count for the next Reset. Values
+	// < 2 select the single-shard oracle. Implementations may clamp
+	// (e.g. to the item count).
+	SetShards(shards int)
+}
+
+// UnindexedQuerier is an optional Accelerator capability: produce the
+// candidate-cluster shortlist of an item that has *not yet been
+// inserted*, by signing the item (or reusing its presigned band keys)
+// and probing the growing index. The seeded bootstrap uses it so every
+// non-seed item actually consults the index built so far — the
+// behaviour the mode describes — instead of the always-empty shortlist
+// a Querier.Candidates call on an un-inserted item yields. The result
+// follows Querier.Candidates semantics (deduplicated, assignment
+// entries < 0 skipped, valid until the next call); the serial oracle
+// and the presigned pipeline must produce identical shortlists, which
+// the bootstrap equivalence tests enforce.
+type UnindexedQuerier interface {
+	CandidatesUnindexed(item int32, assign []int32) []int32
+}
+
+// ShardStatsReporter is an optional Accelerator capability: report the
+// index's shard layout and per-shard construction cost after a run, so
+// runstats can record the bootstrap-build breakdown and the
+// cross-shard merge overhead (Run.Shards, Run.BootstrapBuildShards,
+// Run.CrossShardMerge).
+type ShardStatsReporter interface {
+	// ShardStats returns the shard count, the per-shard frozen-build
+	// wall times (nil when the index never froze), and the cumulative
+	// time spent in cross-shard candidate sweeps (zero with one shard).
+	ShardStats() (shards int, buildTimes []time.Duration, crossShardMerge time.Duration)
+}
+
+// ShardedIndexBase is the sharded-index state machine shared by the
+// accelerators built on lsh.Sharded (MinHash here, SimHash in
+// internal/simhash): one index plus the presigned-arena lifecycle
+// behind the BulkIndexer, Freezer, ReverseQuerier, ShardedIndexer,
+// UnindexedQuerier and ShardStatsReporter capabilities. Embedding it
+// promotes everything signing-agnostic — SetShards, ShardStats,
+// Params, Index, BuildFrozen, InsertPresigned, Freeze, NewQuerier,
+// NewReverse — so the arena lifecycle lives in exactly one place; the
+// embedding accelerator supplies only what varies, the signing: the
+// parallel worker factory (SignAllInto) and the serial single-item
+// signer (CandidatesUnindexedWith).
+type ShardedIndexBase struct {
+	params lsh.Params
+	index  *lsh.Sharded
+	n      int
+	k      int
+	shards int
+	// selfQ serves CandidatesUnindexedWith (the seeded bootstrap's
+	// query-before-insert); created lazily, serial use only.
+	selfQ *IndexQuerier
+	// presigned is the flat band-key arena SignAllInto computed
+	// (keys[item·Bands+band]); nil until then, released to the index by
+	// BuildFrozen and at Freeze.
+	presigned []uint64
+}
+
+// SetShards configures the item-shard count for the next ResetIndex
+// (core.ShardedIndexer). Values < 2 select the single-shard oracle.
+func (b *ShardedIndexBase) SetShards(shards int) {
+	if shards < 1 {
+		shards = 1
+	}
+	b.shards = shards
+}
+
+// ShardStats reports the shard layout and per-shard build costs of the
+// current index (core.ShardStatsReporter).
+func (b *ShardedIndexBase) ShardStats() (int, []time.Duration, time.Duration) {
+	if b.index == nil {
+		return 0, nil, 0
+	}
+	return b.index.NumShards(), b.index.BuildTimes(), b.index.MergeTime()
+}
+
+// Params returns the banding configuration.
+func (b *ShardedIndexBase) Params() lsh.Params { return b.params }
+
+// Index exposes the underlying sharded LSH index (nil before the
+// accelerator's Reset), e.g. for bucket-occupancy diagnostics.
+func (b *ShardedIndexBase) Index() *lsh.Sharded { return b.index }
+
+// ResetIndex discards any previous index and prepares a fresh one over
+// numItems items and numClusters clusters, with the configured shard
+// count. Called by the embedding accelerator's Reset.
+func (b *ShardedIndexBase) ResetIndex(params lsh.Params, seed uint64, numItems, numClusters int) error {
+	if numClusters < 1 {
+		return fmt.Errorf("core: numClusters must be ≥ 1, got %d", numClusters)
+	}
+	shards := b.shards
+	if shards < 1 {
+		shards = 1
+	}
+	ix, err := lsh.NewSharded(params, seed, numItems, shards)
+	if err != nil {
+		return err
+	}
+	b.params = params
+	b.index = ix
+	b.n = numItems
+	b.k = numClusters
+	b.selfQ = nil
+	b.presigned = nil
+	return nil
+}
+
+// SignAllInto computes every item's band keys into the presigned
+// arena, sharding the signing across workers goroutines with the
+// accelerator-supplied per-worker signer factory (the signing half of
+// core.BulkIndexer.SignAll).
+func (b *ShardedIndexBase) SignAllInto(workers int, newSigner func() lsh.SignFunc, stop func() bool) error {
+	if b.index == nil {
+		return fmt.Errorf("core: SignAll before Reset")
+	}
+	b.presigned = lsh.SignAll(b.params, b.n, workers, newSigner, stop)
+	return nil
+}
+
+// BuildFrozen constructs every shard's frozen layout directly from the
+// presigned keys — shards concurrent, bands parallel within each shard
+// (core.BulkIndexer).
+func (b *ShardedIndexBase) BuildFrozen(workers int) error {
+	if b.presigned == nil {
+		return fmt.Errorf("core: BuildFrozen before SignAll")
+	}
+	err := b.index.BuildFrozen(b.presigned, b.n, workers)
+	b.presigned = nil
+	return err
+}
+
+// InsertPresigned files one item under its presigned band keys in its
+// owning shard's map-based builder (core.BulkIndexer).
+func (b *ShardedIndexBase) InsertPresigned(item int32) error {
+	if b.presigned == nil {
+		return fmt.Errorf("core: InsertPresigned before SignAll")
+	}
+	bands := b.params.Bands
+	return b.index.InsertKeys(item, b.presigned[int(item)*bands:(int(item)+1)*bands])
+}
+
+// CandidatesUnindexedWith returns the candidate-cluster shortlist of a
+// not-yet-indexed item: by its presigned band keys when SignAllInto
+// ran, otherwise by the signature signNow produces on the spot (the
+// serial bootstrap oracle) — identical keys either way, so the two
+// paths stay bit-identical. Serial use only (shares dedup scratch);
+// the embedding accelerator wraps it as CandidatesUnindexed with its
+// own signer.
+func (b *ShardedIndexBase) CandidatesUnindexedWith(item int32, assign []int32, signNow func(item int32) []uint64) []int32 {
+	if b.index == nil {
+		return nil
+	}
+	if b.selfQ == nil {
+		b.selfQ = NewIndexQuerier(b.index, b.k)
+	}
+	if b.presigned != nil {
+		bands := b.params.Bands
+		return b.selfQ.CandidatesOfKeys(b.presigned[int(item)*bands:(int(item)+1)*bands], assign)
+	}
+	return b.selfQ.CandidatesOfSignature(signNow(item), assign)
+}
+
+// Freeze compacts every shard for the iteration phase (core.Freezer).
+// It also releases the presigned key arena: after the seeded
+// bootstrap's interleave every key has been filed into the index, so
+// retaining the arena through the iterations would only duplicate it.
+func (b *ShardedIndexBase) Freeze() {
+	if b.index != nil {
+		b.index.Freeze()
+	}
+	b.presigned = nil
+}
+
+// NewQuerier returns a query handle with its own deduplication scratch.
+func (b *ShardedIndexBase) NewQuerier() Querier {
+	return NewIndexQuerier(b.index, b.k)
+}
+
+// NewReverse returns a reverse-collision view spanning every shard of
+// the frozen index (core.ReverseQuerier), or nil before Reset or
+// before the index is frozen — the driver then simply runs without
+// active-set filtering.
+func (b *ShardedIndexBase) NewReverse() ReverseView {
+	if b.index == nil {
+		return nil
+	}
+	if r := b.index.NewReverse(); r != nil {
+		return r
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lshcluster/internal/kmeans"
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/lsh"
+	"lshcluster/internal/simhash"
+
+	"lshcluster/internal/core"
+)
+
+// assertShardsEqual runs the same configuration at every given shard
+// count, with Shards=1 (the unsharded oracle) as reference, and
+// asserts bit-identical outcomes: assignments, per-iteration moves and
+// costs, convergence, and final centroids.
+func assertShardsEqual(t *testing.T, mk func() (core.Space, core.Accelerator), fingerprint func(core.Space) []byte, opts core.Options, shardCounts []int) {
+	t.Helper()
+	run := func(shards int) (*core.Result, []byte) {
+		o := opts
+		o.Shards = shards
+		space, accel := mk()
+		o.Accelerator = accel
+		res, err := core.Run(space, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fingerprint(space)
+	}
+	ref, refCentroids := run(1)
+	for _, shards := range shardCounts {
+		if shards == 1 {
+			continue
+		}
+		got, gotCentroids := run(shards)
+		for i := range ref.Assign {
+			if ref.Assign[i] != got.Assign[i] {
+				t.Fatalf("shards=%d: assign[%d] = %d, oracle %d", shards, i, got.Assign[i], ref.Assign[i])
+			}
+		}
+		if got.Stats.Converged != ref.Stats.Converged {
+			t.Fatalf("shards=%d: converged %v, oracle %v", shards, got.Stats.Converged, ref.Stats.Converged)
+		}
+		if len(got.Stats.Iterations) != len(ref.Stats.Iterations) {
+			t.Fatalf("shards=%d: %d iterations, oracle %d",
+				shards, len(got.Stats.Iterations), len(ref.Stats.Iterations))
+		}
+		for i := range ref.Stats.Iterations {
+			a, b := ref.Stats.Iterations[i], got.Stats.Iterations[i]
+			if a.Moves != b.Moves {
+				t.Fatalf("shards=%d iteration %d: %d moves, oracle %d", shards, i+1, b.Moves, a.Moves)
+			}
+			if a.Cost != b.Cost {
+				t.Fatalf("shards=%d iteration %d: cost %v, oracle %v", shards, i+1, b.Cost, a.Cost)
+			}
+			if a.CandidatesTotal != b.CandidatesTotal {
+				t.Fatalf("shards=%d iteration %d: %d candidates, oracle %d",
+					shards, i+1, b.CandidatesTotal, a.CandidatesTotal)
+			}
+		}
+		if !bytes.Equal(refCentroids, gotCentroids) {
+			t.Fatalf("shards=%d: final centroids differ from the unsharded oracle", shards)
+		}
+		if got.Stats.Shards != shards {
+			t.Fatalf("shards=%d: stats recorded %d shards", shards, got.Stats.Shards)
+		}
+	}
+}
+
+// TestShardInvarianceKModes is the headline shard-count equivalence
+// matrix for MH-K-Modes: full runs must be bit-identical across
+// Shards ∈ {1, 2, 4} for both bootstrap modes and both worker counts.
+func TestShardInvarianceKModes(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	mk := func() (core.Space, core.Accelerator) {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a
+	}
+	for _, boot := range []core.BootstrapMode{core.BootstrapFullScan, core.BootstrapSeeded} {
+		for _, workers := range []int{1, 4} {
+			upd := core.UpdateImmediate
+			if workers > 1 {
+				upd = core.UpdateDeferred
+			}
+			t.Run(fmt.Sprintf("boot=%d/w=%d", boot, workers), func(t *testing.T) {
+				assertShardsEqual(t, mk, kmodesFingerprint(t), core.Options{
+					Bootstrap: boot, Update: upd, Workers: workers,
+					MaxIterations: 15,
+				}, []int{1, 2, 4})
+			})
+		}
+	}
+}
+
+// TestShardInvarianceKMeans covers the SimHash/K-Means instantiation
+// of the same matrix.
+func TestShardInvarianceKMeans(t *testing.T) {
+	pts, _, err := kmeans.GenerateBlobs(kmeans.BlobsConfig{
+		Points: 800, Clusters: 40, Dim: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (core.Space, core.Accelerator) {
+		s, err := kmeans.NewSpace(pts, 8, kmeans.Config{K: 40, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := simhash.NewAccelerator(s, lsh.Params{Bands: 8, Rows: 8}, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a
+	}
+	fingerprint := func(s core.Space) []byte {
+		var buf bytes.Buffer
+		sp := s.(*kmeans.Space)
+		for c := 0; c < sp.NumClusters(); c++ {
+			fmt.Fprintf(&buf, "%x;", sp.Centroid(c))
+		}
+		return buf.Bytes()
+	}
+	for _, boot := range []core.BootstrapMode{core.BootstrapFullScan, core.BootstrapSeeded} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("boot=%d/w=%d", boot, workers), func(t *testing.T) {
+				assertShardsEqual(t, mk, fingerprint, core.Options{
+					Bootstrap: boot, Update: core.UpdateDeferred, Workers: workers,
+					MaxIterations: 15,
+				}, []int{1, 2, 4})
+			})
+		}
+	}
+}
+
+// TestShardInvarianceSerialOracle crosses sharding with the serial
+// bootstrap oracle: even the per-item sign+insert path must be
+// shard-blind.
+func TestShardInvarianceSerialOracle(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	mk := func() (core.Space, core.Accelerator) {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a
+	}
+	for _, boot := range []core.BootstrapMode{core.BootstrapFullScan, core.BootstrapSeeded} {
+		t.Run(fmt.Sprintf("boot=%d", boot), func(t *testing.T) {
+			assertShardsEqual(t, mk, kmodesFingerprint(t), core.Options{
+				Bootstrap: boot, MaxIterations: 12, DisableParallelBootstrap: true,
+			}, []int{1, 4})
+		})
+	}
+}
+
+// TestShardStatsRecorded checks the ShardStatsReporter plumbing: a
+// sharded run records the shard count, one build time per shard, and
+// (having fanned queries out across shards) a non-zero cross-shard
+// merge time; the unsharded oracle records exactly one shard and no
+// merge time.
+func TestShardStatsRecorded(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	run := func(shards int) *core.Result {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(s, core.Options{
+			Accelerator: a, Shards: shards, MaxIterations: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	st := run(4).Stats
+	if st.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards)
+	}
+	if len(st.BootstrapBuildShards) != 4 {
+		t.Fatalf("BootstrapBuildShards has %d entries, want 4", len(st.BootstrapBuildShards))
+	}
+	if st.CrossShardMerge <= 0 {
+		t.Fatal("sharded run recorded no cross-shard merge time")
+	}
+	st = run(1).Stats
+	if st.Shards != 1 {
+		t.Fatalf("oracle Shards = %d, want 1", st.Shards)
+	}
+	if st.CrossShardMerge != 0 {
+		t.Fatalf("oracle recorded cross-shard merge time %v", st.CrossShardMerge)
+	}
+}
+
+// TestShardsIgnoredWithoutCapability checks Options.Shards degrades to
+// a no-op for accelerators without the ShardedIndexer capability.
+func TestShardsIgnoredWithoutCapability(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s, core.Options{
+		Accelerator: &fixedShortlistAccel{k: 30}, Shards: 4, MaxIterations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shards != 0 {
+		t.Fatalf("capability-less accelerator reported %d shards", res.Stats.Shards)
+	}
+}
+
+// fixedShortlistAccel always shortlists every cluster (no sharding,
+// no unindexed queries — the minimal Accelerator surface).
+type fixedShortlistAccel struct {
+	k   int
+	buf []int32
+}
+
+func (a *fixedShortlistAccel) Reset(k int) error {
+	a.k = k
+	a.buf = make([]int32, k)
+	for i := range a.buf {
+		a.buf[i] = int32(i)
+	}
+	return nil
+}
+func (a *fixedShortlistAccel) Insert(int32) error { return nil }
+func (a *fixedShortlistAccel) NewQuerier() core.Querier {
+	return fixedShortlistQuerier{buf: a.buf}
+}
+
+type fixedShortlistQuerier struct{ buf []int32 }
+
+func (q fixedShortlistQuerier) Candidates(int32, []int32) []int32 { return q.buf }

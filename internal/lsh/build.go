@@ -197,6 +197,7 @@ func (ix *Index) BuildFrozen(keys []uint64, n, workers int) error {
 	base[bands] = int32(total)
 	fz.offsets = make([]int32, total+1)
 	fz.items = make([]int32, n*bands)
+	fz.keys = make([]uint64, total)
 	fz.offsets[total] = int32(n * bands)
 
 	// Pass 2: per-band CSR fill. Each band writes its own offsets
@@ -220,13 +221,14 @@ func (ix *Index) BuildFrozen(keys []uint64, n, workers int) error {
 			for item := 0; item < n; item++ {
 				idx := item*bands + b
 				s := fz.slots[idx]
-				fz.items[bb.counts[s]] = int32(item)
+				fz.items[bb.counts[s]] = ix.globalID(int32(item))
 				bb.counts[s]++
 				fz.slots[idx] = gb + s
 			}
 			tbl := newKeyTable(len(bb.order))
 			for j, key := range bb.order {
 				tbl.put(key, gb+int32(j))
+				fz.keys[int(gb)+j] = key
 			}
 			fz.tables[b] = tbl
 		}

@@ -35,6 +35,9 @@ func assertFrozenIdentical(t *testing.T, want, got *Index) {
 	if !reflect.DeepEqual(fw.slots, fg.slots) {
 		t.Fatalf("slots differ:\nwant %v\ngot  %v", fw.slots, fg.slots)
 	}
+	if !reflect.DeepEqual(fw.keys, fg.keys) {
+		t.Fatalf("bucket keys differ:\nwant %v\ngot  %v", fw.keys, fg.keys)
+	}
 	if len(fw.tables) != len(fg.tables) {
 		t.Fatalf("tables: want %d bands, got %d", len(fw.tables), len(fg.tables))
 	}
@@ -43,11 +46,8 @@ func assertFrozenIdentical(t *testing.T, want, got *Index) {
 		if tw.mask != tg.mask {
 			t.Fatalf("band %d table mask: want %d, got %d", b, tw.mask, tg.mask)
 		}
-		if !reflect.DeepEqual(tw.keys, tg.keys) {
-			t.Fatalf("band %d table keys differ", b)
-		}
-		if !reflect.DeepEqual(tw.slots, tg.slots) {
-			t.Fatalf("band %d table slots differ", b)
+		if !reflect.DeepEqual(tw.entries, tg.entries) {
+			t.Fatalf("band %d table entries differ", b)
 		}
 	}
 }

@@ -19,19 +19,33 @@ package lsh
 // in the identical order.
 type frozenIndex struct {
 	offsets []int32 // len totalBuckets+1; bucket s holds items[offsets[s]:offsets[s+1]]
-	items   []int32 // all buckets' item IDs, concatenated
+	items   []int32 // all buckets' item IDs (global), concatenated
 	slots   []int32 // item·bands+band → bucket ID; -1 when not inserted
-	tables  []keyTable
+	// keys[s] is the band key bucket s was filed under (the band is
+	// implied by the bucket-ID range). It inverts slots back to keys, so
+	// a sharded query can resolve an item's band keys through its owning
+	// shard and probe the other shards' key tables without retaining the
+	// per-item key arena.
+	keys   []uint64
+	tables []keyTable
 }
 
 // keyTable is a linear-probing open-addressed map from a band key to a
 // global bucket ID. Band keys are already avalanche-mixed 64-bit
 // hashes, so the raw key masks directly into the table. Load factor is
-// kept ≤ 0.5, guaranteeing probe termination.
+// kept ≤ 0.5, guaranteeing probe termination. Key and slot are stored
+// interleaved so a probe touches one cache line, not one per array —
+// the probe-heavy cross-shard fan-out paths are bound by exactly this
+// memory traffic.
 type keyTable struct {
-	keys  []uint64
-	slots []int32 // -1 = empty
-	mask  uint64
+	entries []keyEntry
+	mask    uint64
+}
+
+// keyEntry is one table cell; slot −1 means empty.
+type keyEntry struct {
+	key  uint64
+	slot int32
 }
 
 func newKeyTable(numKeys int) keyTable {
@@ -40,32 +54,30 @@ func newKeyTable(numKeys int) keyTable {
 		size *= 2
 	}
 	t := keyTable{
-		keys:  make([]uint64, size),
-		slots: make([]int32, size),
-		mask:  uint64(size - 1),
+		entries: make([]keyEntry, size),
+		mask:    uint64(size - 1),
 	}
-	for i := range t.slots {
-		t.slots[i] = -1
+	for i := range t.entries {
+		t.entries[i].slot = -1
 	}
 	return t
 }
 
 func (t *keyTable) put(key uint64, slot int32) {
 	i := key & t.mask
-	for t.slots[i] >= 0 {
+	for t.entries[i].slot >= 0 {
 		i = (i + 1) & t.mask
 	}
-	t.keys[i] = key
-	t.slots[i] = slot
+	t.entries[i] = keyEntry{key: key, slot: slot}
 }
 
 // get returns the bucket ID filed under key, or -1.
 func (t *keyTable) get(key uint64) int32 {
 	i := key & t.mask
 	for {
-		s := t.slots[i]
-		if s < 0 || t.keys[i] == key {
-			return s
+		e := t.entries[i]
+		if e.slot < 0 || e.key == key {
+			return e.slot
 		}
 		i = (i + 1) & t.mask
 	}
@@ -104,6 +116,7 @@ func (ix *Index) Freeze() {
 	fz := &frozenIndex{
 		offsets: make([]int32, 1, totalBuckets+1),
 		items:   make([]int32, 0, totalItems),
+		keys:    make([]uint64, 0, totalBuckets),
 		tables:  make([]keyTable, bands),
 	}
 	bucketID := int32(0)
@@ -120,6 +133,7 @@ func (ix *Index) Freeze() {
 		for _, key := range order {
 			fz.items = append(fz.items, band[key]...)
 			fz.offsets = append(fz.offsets, int32(len(fz.items)))
+			fz.keys = append(fz.keys, key)
 			tbl.put(key, bucketID)
 			bucketID++
 		}

@@ -68,8 +68,16 @@ type Index struct {
 	inserted    []bool
 	numInserted int
 	frozen      *frozenIndex
-	setBuf      []uint64
 	sigBuf      []uint64
+	// idBase/idStride map this index's local item IDs to the global IDs
+	// stored in buckets: global = idBase + local·idStride. A standalone
+	// index uses (0, 1), where local and global coincide; a shard member
+	// of a Sharded index carries its partition's affine map (range
+	// shards: base = the shard's first global item, stride 1; stride
+	// shards: base = the shard number, stride = the shard count), so
+	// bucket scans emit global IDs with no per-item translation.
+	idBase   int32
+	idStride int32
 }
 
 // NewIndex creates an index for the given banding parameters, seeded
@@ -83,11 +91,34 @@ func NewIndex(p Params, seed uint64, numItems int) (*Index, error) {
 		numItems = 0
 	}
 	return &Index{
-		params:  p,
-		scheme:  minhash.NewScheme(p.SignatureLen(), seed),
-		capHint: numItems,
-		sigBuf:  make([]uint64, p.SignatureLen()),
+		params:   p,
+		scheme:   minhash.NewScheme(p.SignatureLen(), seed),
+		capHint:  numItems,
+		sigBuf:   make([]uint64, p.SignatureLen()),
+		idStride: 1,
 	}, nil
+}
+
+// newShardIndex creates one shard of a Sharded index: the scheme is
+// shared (every shard signs identically) and the affine local→global
+// map is the shard's slice of the partition.
+func newShardIndex(p Params, scheme *minhash.Scheme, capHint int, base, stride int32) *Index {
+	return &Index{
+		params:   p,
+		scheme:   scheme,
+		capHint:  capHint,
+		sigBuf:   make([]uint64, p.SignatureLen()),
+		idBase:   base,
+		idStride: stride,
+	}
+}
+
+// globalID maps a local item ID to the global ID stored in buckets.
+func (ix *Index) globalID(local int32) int32 { return ix.idBase + local*ix.idStride }
+
+// isInserted reports whether local item ID has been inserted.
+func (ix *Index) isInserted(local int32) bool {
+	return int(local) < len(ix.inserted) && ix.inserted[local]
 }
 
 // ensureBuild materialises the map-based build storage on first use.
@@ -213,16 +244,30 @@ func (ix *Index) InsertKeys(item int32, keys []uint64) error {
 	return nil
 }
 
-// file appends item to band b's bucket under key, recording the key's
-// first appearance in keyOrder (the deterministic Freeze ordering) and
-// retaining it in the per-item key store.
+// file adds item (as its global ID) to band b's bucket under key,
+// recording the key's first appearance in keyOrder (the deterministic
+// Freeze ordering) and retaining it in the per-item key store.
+//
+// Buckets are kept in ascending global-ID order — an index invariant
+// that makes candidate enumeration a function of the bucket's
+// *membership*, independent of insertion order, and therefore
+// identical across shard partitions (a sharded query concatenates or
+// merges per-shard buckets in ascending ID order). Ascending insert
+// sequences (the full-scan bootstrap, streaming) take the append path
+// unchanged; only out-of-order inserts — the seeded bootstrap's k
+// seeds-first interleave — pay the insertion-sort shifts, bounded by
+// the handful of larger seeds sharing the bucket.
 func (ix *Index) file(b int, key uint64, item int32, base int) {
 	ix.keys[base+b] = key
 	bucket, ok := ix.buckets[b][key]
 	if !ok {
 		ix.keyOrder[b] = append(ix.keyOrder[b], key)
 	}
-	ix.buckets[b][key] = append(bucket, item)
+	bucket = append(bucket, ix.globalID(item))
+	for i := len(bucket) - 1; i > 0 && bucket[i-1] > bucket[i]; i-- {
+		bucket[i-1], bucket[i] = bucket[i], bucket[i-1]
+	}
+	ix.buckets[b][key] = bucket
 }
 
 // grow extends the per-item storage to hold at least n items, doubling
@@ -356,6 +401,51 @@ func (ix *Index) CandidatesOfSignature(sig []uint64, fn func(other int32)) {
 	}
 }
 
+// CandidatesOfKeys reports the items colliding with precomputed band
+// keys — one per band, as produced by SignAll — with the same
+// duplication semantics as Candidates. It is the query half of the
+// presigned seeded bootstrap (the keys were computed up front, the
+// item itself is not yet inserted) and of cross-shard fan-out, where
+// non-owning shards are probed by key.
+func (ix *Index) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
+	if len(keys) != ix.params.Bands {
+		panic("lsh: CandidatesOfKeys key count mismatch")
+	}
+	for b, key := range keys {
+		for _, other := range ix.lookupBucket(b, key) {
+			fn(other)
+		}
+	}
+}
+
+// itemBandKey returns the band-b key of a previously inserted local
+// item, on either layout: the build phase retains per-item keys, the
+// frozen layout resolves the item's bucket slot and reads the bucket's
+// key. Callers must check isInserted first.
+func (ix *Index) itemBandKey(local int32, b int) uint64 {
+	if fz := ix.frozen; fz != nil {
+		return fz.keys[fz.slots[int(local)*ix.params.Bands+b]]
+	}
+	return ix.keys[int(local)*ix.params.Bands+b]
+}
+
+// lookupBucket returns band b's bucket filed under key (nil when
+// absent), on either layout. The returned slice aliases index storage
+// and must not be modified; its entries are global item IDs.
+func (ix *Index) lookupBucket(b int, key uint64) []int32 {
+	if fz := ix.frozen; fz != nil {
+		slot := fz.tables[b].get(key)
+		if slot < 0 {
+			return nil
+		}
+		return fz.items[fz.offsets[slot]:fz.offsets[slot+1]]
+	}
+	if ix.buckets == nil {
+		return nil // nothing inserted yet (build storage is lazy)
+	}
+	return ix.buckets[b][key]
+}
+
 // Stats summarises bucket occupancy for diagnostics.
 type Stats struct {
 	Bands          int
@@ -369,16 +459,27 @@ type Stats struct {
 // Stats scans the index and returns occupancy statistics.
 func (ix *Index) Stats() Stats {
 	st := Stats{Bands: ix.params.Bands, Items: ix.NumInserted()}
-	singles := 0
-	total := 0
+	singles, total := 0, 0
+	ix.statsInto(&st, &singles, &total)
+	if st.Buckets > 0 {
+		st.MeanBucketLen = float64(total) / float64(st.Buckets)
+		st.SingletonShare = float64(singles) / float64(st.Buckets)
+	}
+	return st
+}
+
+// statsInto folds this index's bucket occupancy into st with the raw
+// singleton/total counters, so a Sharded index can aggregate shards
+// exactly instead of re-deriving counts from per-shard ratios.
+func (ix *Index) statsInto(st *Stats, singles, total *int) {
 	bucketLen := func(n int) {
 		st.Buckets++
-		total += n
+		*total += n
 		if n > st.MaxBucketLen {
 			st.MaxBucketLen = n
 		}
 		if n == 1 {
-			singles++
+			*singles++
 		}
 	}
 	if fz := ix.frozen; fz != nil {
@@ -392,9 +493,4 @@ func (ix *Index) Stats() Stats {
 			}
 		}
 	}
-	if st.Buckets > 0 {
-		st.MeanBucketLen = float64(total) / float64(st.Buckets)
-		st.SingletonShare = float64(singles) / float64(st.Buckets)
-	}
-	return st
 }

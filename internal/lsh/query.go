@@ -1,0 +1,291 @@
+package lsh
+
+import "time"
+
+// Query is the per-caller planner over a Sharded index. It plans each
+// candidate sweep as shard-local sub-queries — the owning shard
+// resolves the query item's band keys, every shard is probed for the
+// matching bucket — and merges the shard-local shortlists back into
+// the exact candidate stream the unsharded index would emit:
+//
+//   - Range partition: per band, buckets are concatenated in ascending
+//     shard order. Shard buckets hold ascending global IDs from
+//     disjoint contiguous ranges, so the concatenation IS the
+//     ascending-ID merge — order-preserving at zero comparison cost.
+//
+//   - Stride partition: per band, an S-way ascending merge interleaves
+//     the shard buckets back into global-ID order.
+//
+// Either way a consumer observes exactly the sequence the single-index
+// Candidates/CandidatesBatch/CandidatesOfSignature calls would
+// deliver — the property the full-run shard-invariance tests pin,
+// since the driver's tie-breaking depends on enumeration order.
+//
+// A Query owns private scratch (block key buffers, merge heads): a
+// single Query must not be used concurrently, but distinct Queries
+// over one Sharded index may be — the driver creates one per pass
+// worker. With a single shard every method delegates straight to the
+// underlying Index.
+type Query struct {
+	sh *Sharded
+	// owners/locals/keyBuf/slotBuf are the per-position scratch of the
+	// batched block sweep.
+	owners  []int32
+	locals  []int32
+	keyBuf  []uint64
+	slotBuf []int32
+	// sigKeys holds the band keys of an out-of-index query signature.
+	sigKeys []uint64
+	// heads is the stride-merge cursor scratch.
+	heads []mergeHead
+	// oneBuf wraps single merged candidates as one-element buckets for
+	// the stride-mode batch fallback.
+	oneBuf [1]int32
+	// pendingNanos/pendingCalls batch per-item merge-time samples
+	// locally so the hottest per-item paths (seeded interleave,
+	// streaming) pay the shared atomic once per flush, not per query.
+	pendingNanos int64
+	pendingCalls int
+}
+
+type mergeHead struct {
+	bucket []int32
+	next   int
+}
+
+// NewQuery returns a planner with private scratch.
+func (sh *Sharded) NewQuery() *Query {
+	return &Query{sh: sh}
+}
+
+// addMergeNanos accrues one per-item query's cross-shard sweep time,
+// flushing to the shared atomic in batches of mergeFlushEvery. Up to
+// mergeFlushEvery−1 samples may still be pending when MergeTime is
+// read — a bounded undercount, irrelevant at reporting granularity,
+// in exchange for keeping the shared cache line out of the per-query
+// path. Block sweeps bypass this and flush directly, once per block.
+func (q *Query) addMergeNanos(n int64) {
+	q.pendingNanos += n
+	if q.pendingCalls++; q.pendingCalls >= mergeFlushEvery {
+		q.sh.mergeNanos.Add(q.pendingNanos)
+		q.pendingNanos, q.pendingCalls = 0, 0
+	}
+}
+
+const mergeFlushEvery = 64
+
+// Candidates invokes fn for every item sharing at least one band
+// bucket with the previously inserted global item, with Index.
+// Candidates' duplication semantics and enumeration order.
+func (q *Query) Candidates(item int32, fn func(other int32)) {
+	sh := q.sh
+	if sh.single != nil {
+		sh.single.Candidates(item, fn)
+		return
+	}
+	start := time.Now()
+	s, local, ok := sh.part.locate(item)
+	if !ok || !sh.shards[s].isInserted(local) {
+		return
+	}
+	own := sh.shards[s]
+	bands := sh.params.Bands
+	for b := 0; b < bands; b++ {
+		q.fanOutBand(b, own.itemBandKey(local, b), fn)
+	}
+	q.addMergeNanos(time.Since(start).Nanoseconds())
+}
+
+// fanOutBand emits one band's colliding items across all shards in
+// ascending global-ID order: concatenation for range shards, an S-way
+// merge for stride shards.
+func (q *Query) fanOutBand(b int, key uint64, fn func(other int32)) {
+	sh := q.sh
+	if !sh.part.stride {
+		for _, ix := range sh.shards {
+			for _, g := range ix.lookupBucket(b, key) {
+				fn(g)
+			}
+		}
+		return
+	}
+	q.heads = q.heads[:0]
+	for _, ix := range sh.shards {
+		if bucket := ix.lookupBucket(b, key); len(bucket) > 0 {
+			q.heads = append(q.heads, mergeHead{bucket: bucket})
+		}
+	}
+	q.mergeEmit(fn)
+}
+
+// mergeEmit drains q.heads in ascending global-ID order. Every bucket
+// is strictly ascending (items insert in ascending global order within
+// a shard) and shards hold disjoint IDs, so a repeated min-head scan —
+// S is small — reproduces the unsharded bucket exactly.
+func (q *Query) mergeEmit(fn func(other int32)) {
+	for len(q.heads) > 0 {
+		minAt := 0
+		for h := 1; h < len(q.heads); h++ {
+			if q.heads[h].bucket[q.heads[h].next] < q.heads[minAt].bucket[q.heads[minAt].next] {
+				minAt = h
+			}
+		}
+		head := &q.heads[minAt]
+		fn(head.bucket[head.next])
+		head.next++
+		if head.next == len(head.bucket) {
+			last := len(q.heads) - 1
+			q.heads[minAt] = q.heads[last]
+			q.heads = q.heads[:last]
+		}
+	}
+}
+
+// CandidatesBatch invokes fn once per (item, band, shard) with the
+// matching bucket, band-major across the block and shard-ascending
+// within each band, so each position's concatenated buckets reproduce
+// Candidates' enumeration exactly while the sweep stays inside one
+// shard's contiguous band region at a time (see Index.CandidatesBatch
+// for why that order amortises cache misses). Bucket slices alias
+// index storage and must not be modified. Only range-partitioned
+// indexes batch; stride partitions fall back to per-item sweeps
+// (streaming, the stride user, never batches).
+func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32)) {
+	sh := q.sh
+	if sh.single != nil {
+		sh.single.CandidatesBatch(items, fn)
+		return
+	}
+	if sh.part.stride {
+		for pos, item := range items {
+			q.Candidates(item, func(other int32) {
+				q.oneBuf[0] = other
+				fn(pos, q.oneBuf[:])
+			})
+		}
+		return
+	}
+	start := time.Now()
+	n := len(items)
+	if cap(q.owners) < n {
+		q.owners = make([]int32, n)
+		q.locals = make([]int32, n)
+		q.keyBuf = make([]uint64, n)
+		q.slotBuf = make([]int32, n)
+	}
+	owners, locals, keyBuf := q.owners[:n], q.locals[:n], q.keyBuf[:n]
+	for pos, item := range items {
+		s, local, ok := sh.part.locate(item)
+		if ok && sh.shards[s].isInserted(local) {
+			owners[pos], locals[pos] = int32(s), local
+		} else {
+			owners[pos] = -1
+		}
+	}
+	bands := sh.params.Bands
+	frozenAll := true
+	for _, ix := range sh.shards {
+		if ix.frozen == nil {
+			frozenAll = false
+			break
+		}
+	}
+	if frozenAll {
+		// Frozen fast path: the owning shard resolves each position's
+		// bucket slot directly (no probe) and its key feeds the foreign
+		// probes, each of which is one interleaved-table cache line.
+		slotBuf := q.slotBuf[:n]
+		for b := 0; b < bands; b++ {
+			for pos := range items {
+				if owners[pos] < 0 {
+					continue
+				}
+				fz := sh.shards[owners[pos]].frozen
+				slot := fz.slots[int(locals[pos])*bands+b]
+				slotBuf[pos] = slot
+				keyBuf[pos] = fz.keys[slot]
+			}
+			for s, ix := range sh.shards {
+				fz := ix.frozen
+				tbl := &fz.tables[b]
+				for pos := range items {
+					if owners[pos] < 0 {
+						continue
+					}
+					slot := slotBuf[pos]
+					if owners[pos] != int32(s) {
+						if slot = tbl.get(keyBuf[pos]); slot < 0 {
+							continue
+						}
+					}
+					if lo, hi := fz.offsets[slot], fz.offsets[slot+1]; hi > lo {
+						fn(pos, fz.items[lo:hi])
+					}
+				}
+			}
+		}
+		sh.mergeNanos.Add(time.Since(start).Nanoseconds())
+		return
+	}
+	for b := 0; b < bands; b++ {
+		for pos := range items {
+			if owners[pos] >= 0 {
+				keyBuf[pos] = sh.shards[owners[pos]].itemBandKey(locals[pos], b)
+			}
+		}
+		for _, ix := range sh.shards {
+			for pos := range items {
+				if owners[pos] < 0 {
+					continue
+				}
+				if bucket := ix.lookupBucket(b, keyBuf[pos]); len(bucket) > 0 {
+					fn(pos, bucket)
+				}
+			}
+		}
+	}
+	sh.mergeNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// CandidatesOfKeys reports the items colliding with precomputed band
+// keys (one per band), with Candidates' duplication semantics and
+// enumeration order — the query half of the sharded seeded bootstrap,
+// probing every shard's growing (or frozen) tables.
+func (q *Query) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
+	sh := q.sh
+	if sh.single != nil {
+		sh.single.CandidatesOfKeys(keys, fn)
+		return
+	}
+	if len(keys) != sh.params.Bands {
+		panic("lsh: CandidatesOfKeys key count mismatch")
+	}
+	start := time.Now()
+	for b, key := range keys {
+		q.fanOutBand(b, key, fn)
+	}
+	q.addMergeNanos(time.Since(start).Nanoseconds())
+}
+
+// CandidatesOfSignature reports the items colliding with a precomputed
+// signature of length SignatureLen — the streaming query path, where
+// the arriving item is signed once and the signature serves both this
+// query and the subsequent InsertSignature.
+func (q *Query) CandidatesOfSignature(sig []uint64, fn func(other int32)) {
+	sh := q.sh
+	if sh.single != nil {
+		sh.single.CandidatesOfSignature(sig, fn)
+		return
+	}
+	if len(sig) != sh.params.SignatureLen() {
+		panic("lsh: CandidatesOfSignature signature length mismatch")
+	}
+	if cap(q.sigKeys) < sh.params.Bands {
+		q.sigKeys = make([]uint64, sh.params.Bands)
+	}
+	keys := q.sigKeys[:sh.params.Bands]
+	for b := range keys {
+		keys[b] = bandKeyOf(sh.params, sig, b)
+	}
+	q.CandidatesOfKeys(keys, fn)
+}

@@ -65,6 +65,22 @@ type Run struct {
 	BootstrapSign   time.Duration
 	BootstrapBuild  time.Duration
 	BootstrapAssign time.Duration
+	// Shards is the accelerator index's item-shard count (0 when the
+	// run had no shard-capable accelerator; 1 is the unsharded oracle).
+	Shards int
+	// BootstrapBuildShards breaks BootstrapBuild down per shard: entry
+	// s is the wall time shard s spent constructing its frozen layout
+	// (direct build or freeze compaction). Nil when the index never
+	// froze. Shards build concurrently, so the entries overlap and
+	// their sum may exceed BootstrapBuild; the maximum is the build's
+	// critical path (the CLI reports the slowest shard).
+	BootstrapBuildShards []time.Duration
+	// CrossShardMerge is the cumulative wall time query paths spent in
+	// cross-shard candidate sweeps (planning, fan-out and merging
+	// shard-local shortlists), measured at call granularity across the
+	// whole run. Always zero with a single shard, where no fan-out
+	// exists.
+	CrossShardMerge time.Duration
 	// Iterations holds one entry per pass, in order.
 	Iterations []Iteration
 	// Converged reports whether the run stopped because no item moved
@@ -124,17 +140,20 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 	cw := csv.NewWriter(w)
 	header := []string{"run", "iteration", "duration_ms", "moves",
 		"comparisons", "avg_shortlist", "cost", "active_items", "skipped_items",
-		"bootstrap_sign_ms", "bootstrap_build_ms", "bootstrap_assign_ms"}
+		"bootstrap_sign_ms", "bootstrap_build_ms", "bootstrap_assign_ms",
+		"shards", "crossshard_merge_ms"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("runstats: writing CSV header: %w", err)
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 	for _, r := range runs {
-		// The pseudo-iteration 0 row carries the bootstrap duration and
-		// its per-phase split; iteration rows leave the phase columns
-		// empty.
+		// The pseudo-iteration 0 row carries the bootstrap duration, its
+		// per-phase split and the shard layout; iteration rows leave
+		// those columns empty. CrossShardMerge spans the whole run but
+		// is a run-level aggregate, so it rides on the same row.
 		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", "", "", "",
-			f(ms(r.BootstrapSign)), f(ms(r.BootstrapBuild)), f(ms(r.BootstrapAssign))}
+			f(ms(r.BootstrapSign)), f(ms(r.BootstrapBuild)), f(ms(r.BootstrapAssign)),
+			strconv.Itoa(r.Shards), f(ms(r.CrossShardMerge))}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("runstats: writing CSV: %w", err)
 		}
@@ -149,7 +168,7 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 				f(it.Cost),
 				strconv.Itoa(it.ActiveItems),
 				strconv.Itoa(it.SkippedItems),
-				"", "", "",
+				"", "", "", "", "",
 			}
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("runstats: writing CSV: %w", err)

@@ -15,6 +15,12 @@ func sampleRun() *Run {
 		BootstrapSign:   40 * time.Millisecond,
 		BootstrapBuild:  10 * time.Millisecond,
 		BootstrapAssign: 45 * time.Millisecond,
+		Shards:          4,
+		BootstrapBuildShards: []time.Duration{
+			3 * time.Millisecond, 2 * time.Millisecond,
+			4 * time.Millisecond, 3 * time.Millisecond,
+		},
+		CrossShardMerge: 6 * time.Millisecond,
 		Iterations: []Iteration{
 			{Index: 1, Duration: 50 * time.Millisecond, Moves: 40, Comparisons: 900,
 				CandidatesTotal: 120, AvgShortlist: 1.2, Cost: 420},
@@ -72,20 +78,20 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "run,iteration,duration_ms") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if !strings.HasSuffix(lines[0], "bootstrap_sign_ms,bootstrap_build_ms,bootstrap_assign_ms") {
-		t.Fatalf("header missing bootstrap phase columns: %q", lines[0])
+	if !strings.HasSuffix(lines[0], "bootstrap_sign_ms,bootstrap_build_ms,bootstrap_assign_ms,shards,crossshard_merge_ms") {
+		t.Fatalf("header missing bootstrap phase / shard columns: %q", lines[0])
 	}
 	if !strings.Contains(lines[1], ",0,100") {
 		t.Fatalf("bootstrap row = %q", lines[1])
 	}
-	if !strings.HasSuffix(lines[1], ",40,10,45") {
-		t.Fatalf("bootstrap row missing phase split: %q", lines[1])
+	if !strings.HasSuffix(lines[1], ",40,10,45,4,6") {
+		t.Fatalf("bootstrap row missing phase split and shard columns: %q", lines[1])
 	}
 	if !strings.Contains(lines[2], ",1,50,40,900,1.2,420") {
 		t.Fatalf("iteration row = %q", lines[2])
 	}
-	if !strings.HasSuffix(lines[2], ",,,") {
-		t.Fatalf("iteration row should leave phase columns empty: %q", lines[2])
+	if !strings.HasSuffix(lines[2], ",,,,,") {
+		t.Fatalf("iteration row should leave phase and shard columns empty: %q", lines[2])
 	}
 }
 

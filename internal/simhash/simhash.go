@@ -78,19 +78,19 @@ func (s *Scheme) Sign(vec []float64, dst []uint64) []uint64 {
 }
 
 // Accelerator is the numeric counterpart of core.MinHashAccelerator:
-// SimHash signatures over a kmeans point set, banded into an lsh.Index,
-// queried for candidate-cluster shortlists.
+// SimHash signatures over a kmeans point set, banded into an
+// item-partitioned lsh.Sharded index (a single shard by default — the
+// bit-identical oracle — or S shards via core.ShardedIndexer), queried
+// for candidate-cluster shortlists. The embedded core.ShardedIndexBase
+// carries the shared index/arena state machine; this type adds the
+// SimHash signing.
 type Accelerator struct {
+	core.ShardedIndexBase
 	space  *kmeans.Space
 	params lsh.Params
 	seed   int64
 	scheme *Scheme
-	index  *lsh.Index
-	k      int
 	sigBuf []uint64
-	// presigned is the flat band-key arena SignAll computed; nil until
-	// SignAll, released to the index by BuildFrozen.
-	presigned []uint64
 }
 
 // NewAccelerator creates a SimHash accelerator for the given K-Means
@@ -114,17 +114,7 @@ func NewAccelerator(space *kmeans.Space, params lsh.Params, seed int64) (*Accele
 
 // Reset prepares an empty index.
 func (a *Accelerator) Reset(numClusters int) error {
-	if numClusters < 1 {
-		return fmt.Errorf("simhash: numClusters must be ≥ 1, got %d", numClusters)
-	}
-	ix, err := lsh.NewIndex(a.params, uint64(a.seed), a.space.NumItems())
-	if err != nil {
-		return err
-	}
-	a.index = ix
-	a.k = numClusters
-	a.presigned = nil
-	return nil
+	return a.ResetIndex(a.params, uint64(a.seed), a.space.NumItems(), numClusters)
 }
 
 // SignAll computes every point's band keys into a flat arena, sharding
@@ -132,72 +122,30 @@ func (a *Accelerator) Reset(numClusters int) error {
 // is immutable and point reads are concurrency-safe, so workers need
 // only private signature scratch.
 func (a *Accelerator) SignAll(workers int, stop func() bool) error {
-	if a.index == nil {
-		return fmt.Errorf("simhash: SignAll before Reset")
-	}
-	a.presigned = lsh.SignAll(a.params, a.space.NumItems(), workers, func() lsh.SignFunc {
+	return a.SignAllInto(workers, func() lsh.SignFunc {
 		return func(item int32, sig []uint64) {
 			a.scheme.Sign(a.space.Point(int(item)), sig)
 		}
 	}, stop)
-	return nil
 }
 
-// BuildFrozen constructs the frozen index directly from the presigned
-// keys, parallel across bands (core.BulkIndexer).
-func (a *Accelerator) BuildFrozen(workers int) error {
-	if a.presigned == nil {
-		return fmt.Errorf("simhash: BuildFrozen before SignAll")
-	}
-	err := a.index.BuildFrozen(a.presigned, a.space.NumItems(), workers)
-	a.presigned = nil
-	return err
-}
-
-// InsertPresigned files one point under its presigned band keys on the
-// map-based builder (core.BulkIndexer).
-func (a *Accelerator) InsertPresigned(item int32) error {
-	if a.presigned == nil {
-		return fmt.Errorf("simhash: InsertPresigned before SignAll")
-	}
-	bands := a.params.Bands
-	return a.index.InsertKeys(item, a.presigned[int(item)*bands:(int(item)+1)*bands])
+// CandidatesUnindexed returns the candidate-cluster shortlist of a
+// not-yet-indexed point by querying the growing index with the point's
+// band keys (core.UnindexedQuerier): the presigned arena when SignAll
+// ran, a fresh signing otherwise. Serial use only (shares signing and
+// dedup scratch).
+func (a *Accelerator) CandidatesUnindexed(item int32, assign []int32) []int32 {
+	return a.CandidatesUnindexedWith(item, assign, func(item int32) []uint64 {
+		return a.scheme.Sign(a.space.Point(int(item)), a.sigBuf)
+	})
 }
 
 // Insert signs point item and files it under its band buckets.
 func (a *Accelerator) Insert(item int32) error {
-	if a.index == nil {
+	ix := a.Index()
+	if ix == nil {
 		return fmt.Errorf("simhash: Insert before Reset")
 	}
 	sig := a.scheme.Sign(a.space.Point(int(item)), a.sigBuf)
-	return a.index.InsertSignature(item, sig)
-}
-
-// Freeze compacts the index for the iteration phase (core.Freezer).
-// It also releases the presigned key arena: after the seeded
-// bootstrap's interleave every key has been filed into the index, so
-// retaining the arena through the iterations would only duplicate it.
-func (a *Accelerator) Freeze() {
-	if a.index != nil {
-		a.index.Freeze()
-	}
-	a.presigned = nil
-}
-
-// NewQuerier returns a query handle with private scratch.
-func (a *Accelerator) NewQuerier() core.Querier {
-	return core.NewIndexQuerier(a.index, a.k)
-}
-
-// NewReverse returns a reverse-collision view over the frozen index
-// (core.ReverseQuerier), or nil before Reset or before the index is
-// frozen — the driver then simply runs without active-set filtering.
-func (a *Accelerator) NewReverse() core.ReverseView {
-	if a.index == nil {
-		return nil
-	}
-	if r := a.index.NewReverse(); r != nil {
-		return r
-	}
-	return nil
+	return ix.InsertSignature(item, sig)
 }

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+	"lshcluster/internal/lsh"
+)
+
+// TestShardedStreamMatchesSingle pins stream sharding to the
+// single-builder oracle: routing inserts across S map builders and
+// merging per-shard buckets back into ascending item order must leave
+// every assignment — and every counter — bit-identical, with and
+// without signature memoization.
+func TestShardedStreamMatchesSingle(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Items: 500, Clusters: 12, Attrs: 14, Domain: 150,
+		MinRuleFrac: 0.6, MaxRuleFrac: 0.9, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 12
+	modes := make([]dataset.Value, 0, k*ds.NumAttrs())
+	for c := 0; c < k; c++ {
+		modes = append(modes, ds.Row(c)...)
+	}
+	run := func(shards int, memoize bool) *Clusterer {
+		c, err := New(Config{
+			Params:       lsh.Params{Bands: 8, Rows: 2},
+			Seed:         5,
+			InitialModes: modes,
+			NumAttrs:     ds.NumAttrs(),
+			Shards:       shards,
+			Memoize:      memoize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ds.NumItems(); i++ {
+			if _, err := c.Add(ds.Row(i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	for _, memoize := range []bool{false, true} {
+		ref := run(1, memoize)
+		for _, shards := range []int{2, 3, 5} {
+			t.Run(fmt.Sprintf("s=%d/memo=%v", shards, memoize), func(t *testing.T) {
+				got := run(shards, memoize)
+				refA, gotA := ref.Assignments(), got.Assignments()
+				for i := range refA {
+					if refA[i] != gotA[i] {
+						t.Fatalf("item %d: sharded %d, single %d", i, gotA[i], refA[i])
+					}
+				}
+				if ref.Stats() != got.Stats() {
+					t.Fatalf("stats diverged: single %+v, sharded %+v", ref.Stats(), got.Stats())
+				}
+				for c := 0; c < k; c++ {
+					rm, gm := ref.Mode(c), got.Mode(c)
+					for a := range rm {
+						if rm[a] != gm[a] {
+							t.Fatalf("mode %d attr %d: sharded %d, single %d", c, a, gm[a], rm[a])
+						}
+					}
+				}
+			})
+		}
+	}
+}

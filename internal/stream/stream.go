@@ -51,6 +51,15 @@ type Config struct {
 	// (the census-like K-Modes regime); signatures — and therefore
 	// assignments — are bit-identical with or without it.
 	Memoize bool
+	// Shards partitions the banding index into this many item shards
+	// (item i routes to shard i mod Shards), so inserts no longer all
+	// land in one set of map builders: each shard's maps stay smaller
+	// and cache-resident, and shards are the unit a future serving
+	// layout distributes. Queries fan out across shards and merge the
+	// shard-local buckets back into ascending item order, so
+	// shortlists — and therefore assignments — are bit-identical to
+	// the single-shard default (values < 2).
+	Shards int
 }
 
 // Stats counts the stream-side behaviour of the index.
@@ -69,9 +78,14 @@ type Stats struct {
 // Clusterer assigns a stream of categorical items to k evolving modes.
 // It is not safe for concurrent use.
 type Clusterer struct {
-	k, m    int
-	params  lsh.Params
-	index   *lsh.Index
+	k, m   int
+	params lsh.Params
+	// index is the stride-sharded banding index (a single shard by
+	// default); query is its planner, which merges per-shard buckets
+	// back into ascending item order so sharding never changes
+	// shortlists.
+	index   *lsh.Sharded
+	query   *lsh.Query
 	freq    *kmodes.FreqTable
 	memo    *minhash.Memo // nil unless Config.Memoize
 	assign  []int32
@@ -96,7 +110,7 @@ func New(cfg Config) (*Clusterer, error) {
 			len(cfg.InitialModes), cfg.NumAttrs)
 	}
 	k := len(cfg.InitialModes) / cfg.NumAttrs
-	ix, err := lsh.NewIndex(cfg.Params, cfg.Seed, cfg.CapacityHint)
+	ix, err := lsh.NewShardedStream(cfg.Params, cfg.Seed, cfg.Shards, cfg.CapacityHint)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +119,7 @@ func New(cfg Config) (*Clusterer, error) {
 		m:      cfg.NumAttrs,
 		params: cfg.Params,
 		index:  ix,
+		query:  ix.NewQuery(),
 		freq:   kmodes.NewFreqTable(k, cfg.NumAttrs),
 		sigBuf: make([]uint64, cfg.Params.SignatureLen()),
 		stamps: make([]uint32, k),
@@ -197,7 +212,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 		c.epoch = 1
 	}
 	c.short = c.short[:0]
-	c.index.CandidatesOfSignature(sig, func(other int32) {
+	c.query.CandidatesOfSignature(sig, func(other int32) {
 		cl := c.assign[other]
 		if c.stamps[cl] != c.epoch {
 			c.stamps[cl] = c.epoch

@@ -92,6 +92,14 @@ type Config struct {
 	// (signing, index construction and the first assignment); values
 	// > 1 imply deferred reference updates.
 	Workers int
+	// Shards partitions the LSH index into this many item shards:
+	// shards build concurrently from disjoint slices of the signing
+	// arena and each keeps its own cache-resident hash tables, while
+	// queries fan out across shards and merge back into the
+	// single-index candidate order — results are bit-identical for
+	// every shard count. Values < 2 keep the unsharded index (the
+	// oracle). Ignored for exact runs.
+	Shards int
 	// EarlyAbandon stops distance evaluations that provably cannot beat
 	// the best candidate so far.
 	EarlyAbandon bool
@@ -117,6 +125,12 @@ type Config struct {
 	// are bit-identical either way); this switch is the correctness
 	// oracle and A/B baseline.
 	DisableParallelBootstrap bool
+	// DisableImmediateBatching forces the immediate-update assignment
+	// pass to evaluate items one at a time instead of gathering
+	// shortlists in blocks cut at move boundaries (results are
+	// bit-identical either way); this switch is the correctness oracle
+	// and A/B baseline.
+	DisableImmediateBatching bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes.
 	OnIteration func(Iteration)
@@ -129,10 +143,12 @@ func (c Config) coreOptions() core.Options {
 		MaxIterations:            c.MaxIterations,
 		EarlyAbandon:             c.EarlyAbandon,
 		Workers:                  c.Workers,
+		Shards:                   c.Shards,
 		OnIteration:              c.OnIteration,
 		Context:                  c.Context,
 		DisableActiveFilter:      c.DisableActiveFilter,
 		DisableParallelBootstrap: c.DisableParallelBootstrap,
+		DisableImmediateBatching: c.DisableImmediateBatching,
 	}
 	if c.SeededBootstrap {
 		opts.Bootstrap = core.BootstrapSeeded

@@ -99,6 +99,60 @@ func TestClusterParallelBootstrapEquivalence(t *testing.T) {
 	}
 }
 
+// TestClusterShardEquivalence checks the facade-level shard A/B: an
+// item-sharded index must produce the identical clustering to the
+// unsharded oracle, for batch K-Modes (with shard stats recorded) and
+// for the streaming clusterer.
+func TestClusterShardEquivalence(t *testing.T) {
+	ds := syntheticDataset(t)
+	cfg := Config{K: 15, Seed: 2, LSH: &Params{Bands: 10, Rows: 2}, MaxIterations: 6}
+	oracle, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 3
+	sharded, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oracle.Assign {
+		if oracle.Assign[i] != sharded.Assign[i] {
+			t.Fatalf("assign[%d]: sharded %d, oracle %d", i, sharded.Assign[i], oracle.Assign[i])
+		}
+	}
+	if sharded.Stats.Shards != 3 {
+		t.Fatalf("Stats.Shards = %d, want 3", sharded.Stats.Shards)
+	}
+	if len(sharded.Stats.BootstrapBuildShards) != 3 {
+		t.Fatalf("BootstrapBuildShards has %d entries, want 3", len(sharded.Stats.BootstrapBuildShards))
+	}
+
+	stream := func(shards int) []int32 {
+		sc, err := NewStream(StreamConfig{
+			Params:       Params{Bands: 10, Rows: 2},
+			Seed:         7,
+			InitialModes: append(append([]Value{}, ds.Row(0)...), ds.Row(1)...),
+			NumAttrs:     ds.NumAttrs(),
+			Shards:       shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ds.NumItems(); i++ {
+			if _, err := sc.Add(ds.Row(i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sc.Assignments()
+	}
+	one, four := stream(1), stream(4)
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("stream item %d: sharded %d, oracle %d", i, four[i], one[i])
+		}
+	}
+}
+
 func TestClusterErrors(t *testing.T) {
 	ds := syntheticDataset(t)
 	if _, err := Cluster(ds, Config{K: 0}); err == nil {
