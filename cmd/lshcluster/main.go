@@ -52,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	statsCSV := fs.String("stats", "", "write per-iteration statistics CSV to this file")
 	workers := fs.Int("workers", 1, "parallel assignment workers (forces deferred updates)")
 	shards := fs.Int("shards", 1, "item-partitioned LSH index shards (1 = unsharded oracle; results are identical for every value)")
+	foreignBudget := fs.Int64("foreign-slot-budget", 0, "byte budget for materialised cross-shard fan-out arrays (0 = 64 MiB default, negative = unlimited; over budget the index keeps key probing)")
+	noForeign := fs.Bool("no-foreign-slots", false, "keep cross-shard fan-out on the key-probe path (A/B baseline; results are identical)")
+	scalarKernels := fs.Bool("scalar-kernels", false, "use scalar reference distance kernels instead of the unrolled ones (A/B baseline; results are identical)")
 	seeded := fs.Bool("seeded-bootstrap", false, "use the seeded-index bootstrap instead of a full first pass")
 	abandon := fs.Bool("early-abandon", false, "enable early-abandon distance evaluation")
 	lowestTie := fs.Bool("lowest-index-ties", false, "break distance ties to the lowest cluster index (numpy-style)")
@@ -106,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		EarlyAbandon:             *abandon,
 		Workers:                  *workers,
 		Shards:                   *shards,
+		ForeignSlotBudget:        *foreignBudget,
+		DisableForeignSlots:      *noForeign,
+		ScalarKernels:            *scalarKernels,
 		DisableActiveFilter:      *noActive,
 		DisableParallelBootstrap: *noParallelBoot,
 		DisableImmediateBatching: *noImmediateBatch,
@@ -151,9 +157,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if len(run.BootstrapBuildShards) > 0 {
 			slowestBuild = run.BootstrapBuildShards[slowest]
 		}
-		fmt.Fprintf(stderr, "lshcluster: %d index shards (slowest build: shard %d at %v; cross-shard merge %v)\n",
+		fanOut := "key-probe fan-out"
+		if run.ForeignSlotBytes > 0 {
+			fanOut = fmt.Sprintf("foreign-slot fan-out, %d KiB", run.ForeignSlotBytes/1024)
+		}
+		fmt.Fprintf(stderr, "lshcluster: %d index shards (slowest build: shard %d at %v; cross-shard merge %v; %s, probe fraction %.2f)\n",
 			run.Shards, slowest, slowestBuild.Round(time.Millisecond),
-			run.CrossShardMerge.Round(time.Millisecond))
+			run.CrossShardMerge.Round(time.Millisecond),
+			fanOut, run.CrossShardProbeFrac())
 	}
 	if *exact {
 		run.Name = "K-Modes"

@@ -128,10 +128,41 @@
 // the partition. Full runs are bit-identical across shard counts,
 // enforced by equivalence tests over both spaces, both bootstrap
 // modes, and worker counts. The cost is an explicit, measured fan-out
-// tax on queries (per-band probes into the other shards' key tables),
-// reported as Run.CrossShardMerge and the crossshard_merge_ms CSV
-// column, alongside the per-shard build breakdown
-// (Run.BootstrapBuildShards).
+// tax on queries, reported as Run.CrossShardMerge and the
+// crossshard_merge_ms CSV column, alongside the per-shard build
+// breakdown (Run.BootstrapBuildShards).
+//
+// The fan-out tax is paid by one of two mechanisms. By default, once
+// every shard is frozen the index materialises foreign-slot arrays —
+// for every owner bucket, the matching bucket's span in each foreign
+// shard's item array, precomputed at freeze time — so each cross-shard
+// resolution is a direct array load straight into the foreign items. Materialisation
+// is gated on a byte budget (Config.ForeignSlotBudget; 0 means the
+// 64 MiB default, negative means unlimited): over budget, the index
+// falls back transparently to probing the other shards' key tables per
+// band, the original mechanism, which Config.DisableForeignSlots
+// retains as the bit-identical correctness oracle. Both mechanisms
+// enumerate the same buckets in the same order; only the lookup cost
+// differs. Run.ForeignSlotBytes reports the materialised footprint and
+// Run.CrossShardProbes/CrossShardDirect split the resolutions by
+// mechanism (foreignslot_bytes and crossshard_probe_frac in the CSV).
+//
+// # Hot-path distance kernels
+//
+// The innermost distance loops — categorical mismatch counting
+// (K-Modes), squared Euclidean distance and dot products (K-Means,
+// SimHash signing), and signature Hamming distance — run on unrolled
+// kernels in internal/kernel: 8-way unrolled branchless mismatch
+// counting, 4-way unrolled floating-point accumulation, and Hamming
+// popcount over bit-packed signature words (64 sign bits per uint64,
+// counted with bits.OnesCount64). Every kernel has a scalar reference
+// twin and
+// the floating-point kernels keep a single accumulator in element
+// order, so results are bit-identical to the scalar loops — enforced
+// by property tests over random lengths (including every tail length)
+// and by full-run equivalence under Config.ScalarKernels, which routes
+// all spaces and accelerators through the scalar references as the
+// correctness oracle.
 //
 // # Seeded bootstrap semantics
 //

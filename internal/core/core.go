@@ -85,6 +85,18 @@ type Accelerator interface {
 	NewQuerier() Querier
 }
 
+// KernelConfigurable is an optional Space/Accelerator capability:
+// implementations whose hot loops run through the unrolled kernels of
+// internal/kernel expose the switch back to their scalar references.
+// The driver forwards Options.ScalarKernels to both the space and the
+// accelerator once per Run, before any distance or signature is
+// computed. The unrolled kernels preserve the scalar accumulation
+// order, so results are bit-identical either way — the switch is the
+// oracle the kernel-equivalence tests run under.
+type KernelConfigurable interface {
+	SetScalarKernels(scalar bool)
+}
+
 // BootstrapMode selects how the initial assignment and the index are
 // produced.
 type BootstrapMode int
@@ -186,6 +198,28 @@ type Options struct {
 	// every shard count produces identical runs (enforced by the
 	// shard-invariance equivalence tests).
 	Shards int
+	// ForeignSlotBudget caps the memory (bytes) the sharded index may
+	// spend on materialised cross-shard fan-out arrays (foreign slots),
+	// which turn every foreign-shard bucket resolution into one indexed
+	// load instead of a key-table probe. 0 selects
+	// lsh.DefaultForeignSlotBudget; negative means unlimited. When the
+	// arrays would exceed the budget the index transparently stays on
+	// the probe path — results are identical either way. Ignored
+	// without a ForeignSlotConfigurer accelerator or with Shards < 2.
+	ForeignSlotBudget int64
+	// DisableForeignSlots keeps the cross-shard fan-out on the
+	// key-table probe path even when the foreign-slot arrays would fit
+	// the budget. The probe path is the correctness oracle for the
+	// materialised arrays; this switch exists for equivalence tests and
+	// A/B benchmarks.
+	DisableForeignSlots bool
+	// ScalarKernels routes the hot-loop distance and signing kernels
+	// through their scalar references instead of the unrolled versions
+	// (internal/kernel), on every KernelConfigurable space and
+	// accelerator. Results are bit-identical either way; the switch is
+	// the correctness oracle for the kernels and exists for equivalence
+	// tests and A/B benchmarks.
+	ScalarKernels bool
 	// DisableIncremental forces full RecomputeCentroids/Cost passes
 	// even when the Space implements IncrementalSpace. The batch path
 	// is the correctness oracle for the incremental engine; this switch
@@ -286,6 +320,17 @@ func Run(space Space, opts Options) (*Result, error) {
 		}
 	}
 
+	// Kernel selection must precede every distance and signature
+	// computation — the bootstrap's exact first assignment included —
+	// so it is forwarded before bootstrap, to the space and the
+	// accelerator alike.
+	if kc, ok := space.(KernelConfigurable); ok {
+		kc.SetScalarKernels(opts.ScalarKernels)
+	}
+	if kc, ok := opts.Accelerator.(KernelConfigurable); ok {
+		kc.SetScalarKernels(opts.ScalarKernels)
+	}
+
 	if err := ctxErr(opts.Context); err != nil {
 		return nil, err
 	}
@@ -364,7 +409,13 @@ func Run(space Space, opts Options) (*Result, error) {
 		}
 	}
 	if sr, ok := opts.Accelerator.(ShardStatsReporter); ok {
-		res.Stats.Shards, res.Stats.BootstrapBuildShards, res.Stats.CrossShardMerge = sr.ShardStats()
+		ss := sr.ShardStats()
+		res.Stats.Shards = ss.Shards
+		res.Stats.BootstrapBuildShards = ss.BuildTimes
+		res.Stats.CrossShardMerge = ss.CrossShardMerge
+		res.Stats.ForeignSlotBytes = ss.ForeignSlotBytes
+		res.Stats.CrossShardProbes = ss.ProbeOps
+		res.Stats.CrossShardDirect = ss.DirectOps
 	}
 	return res, nil
 }
@@ -456,6 +507,9 @@ func (d *driver) bootstrap() error {
 			shards = 1
 		}
 		si.SetShards(shards)
+	}
+	if fc, ok := accel.(ForeignSlotConfigurer); ok {
+		fc.SetForeignSlots(d.opts.ForeignSlotBudget, d.opts.DisableForeignSlots)
 	}
 	if err := accel.Reset(d.k); err != nil {
 		return fmt.Errorf("core: resetting accelerator: %w", err)

@@ -46,16 +46,48 @@ type UnindexedQuerier interface {
 	CandidatesUnindexed(item int32, assign []int32) []int32
 }
 
+// ForeignSlotConfigurer is an optional Accelerator capability:
+// accelerators whose sharded index can materialise the cross-shard
+// foreign-slot arrays (lsh.Sharded.MaterializeForeignSlots) implement
+// it. The driver forwards Options.ForeignSlotBudget and
+// Options.DisableForeignSlots once per Run, before Reset; the index
+// materialises after its frozen layout is built, falling back to the
+// key-probe fan-out when disabled or over budget. Accelerators without
+// the capability simply keep probing.
+type ForeignSlotConfigurer interface {
+	// SetForeignSlots configures foreign-slot materialisation for the
+	// next Reset: budget is the byte cap (0 = lsh.
+	// DefaultForeignSlotBudget, negative = unlimited), disable pins the
+	// probe-path oracle.
+	SetForeignSlots(budget int64, disable bool)
+}
+
+// ShardStats is the post-run shard report of a ShardStatsReporter.
+type ShardStats struct {
+	// Shards is the shard count of the index (0 when none was built).
+	Shards int
+	// BuildTimes holds the per-shard frozen-build wall times (nil when
+	// the index never froze).
+	BuildTimes []time.Duration
+	// CrossShardMerge is the cumulative time spent in cross-shard
+	// candidate sweeps (zero with one shard).
+	CrossShardMerge time.Duration
+	// ForeignSlotBytes is the memory the materialised fan-out arrays
+	// occupy; 0 means the key-probe path served every query.
+	ForeignSlotBytes int64
+	// ProbeOps/DirectOps count cross-shard bucket resolutions by path:
+	// key-table probes versus direct foreign-slot loads.
+	ProbeOps, DirectOps int64
+}
+
 // ShardStatsReporter is an optional Accelerator capability: report the
 // index's shard layout and per-shard construction cost after a run, so
-// runstats can record the bootstrap-build breakdown and the
-// cross-shard merge overhead (Run.Shards, Run.BootstrapBuildShards,
-// Run.CrossShardMerge).
+// runstats can record the bootstrap-build breakdown, the cross-shard
+// merge overhead and the fan-out mode (Run.Shards,
+// Run.BootstrapBuildShards, Run.CrossShardMerge, Run.ForeignSlotBytes,
+// Run.CrossShardProbes/CrossShardDirect).
 type ShardStatsReporter interface {
-	// ShardStats returns the shard count, the per-shard frozen-build
-	// wall times (nil when the index never froze), and the cumulative
-	// time spent in cross-shard candidate sweeps (zero with one shard).
-	ShardStats() (shards int, buildTimes []time.Duration, crossShardMerge time.Duration)
+	ShardStats() ShardStats
 }
 
 // ShardedIndexBase is the sharded-index state machine shared by the
@@ -82,6 +114,11 @@ type ShardedIndexBase struct {
 	// (keys[item·Bands+band]); nil until then, released to the index by
 	// BuildFrozen and at Freeze.
 	presigned []uint64
+	// foreignBudget/foreignOff hold the foreign-slot configuration the
+	// driver forwarded (ForeignSlotConfigurer); materialisation runs
+	// once the frozen layout exists (BuildFrozen / Freeze).
+	foreignBudget int64
+	foreignOff    bool
 }
 
 // SetShards configures the item-shard count for the next ResetIndex
@@ -93,13 +130,46 @@ func (b *ShardedIndexBase) SetShards(shards int) {
 	b.shards = shards
 }
 
-// ShardStats reports the shard layout and per-shard build costs of the
-// current index (core.ShardStatsReporter).
-func (b *ShardedIndexBase) ShardStats() (int, []time.Duration, time.Duration) {
-	if b.index == nil {
-		return 0, nil, 0
+// SetForeignSlots configures cross-shard foreign-slot materialisation
+// (core.ForeignSlotConfigurer): budget in bytes (0 = lsh.
+// DefaultForeignSlotBudget, negative = unlimited), disable pins the
+// key-probe oracle.
+func (b *ShardedIndexBase) SetForeignSlots(budget int64, disable bool) {
+	b.foreignBudget = budget
+	b.foreignOff = disable
+}
+
+// materializeForeign builds the cross-shard fan-out arrays once the
+// frozen layout exists, under the configured budget; a no-op when
+// disabled (and, inside the index, for single-shard, stride or
+// over-budget layouts).
+func (b *ShardedIndexBase) materializeForeign() {
+	if b.foreignOff || b.index == nil {
+		return
 	}
-	return b.index.NumShards(), b.index.BuildTimes(), b.index.MergeTime()
+	budget := b.foreignBudget
+	if budget == 0 {
+		budget = lsh.DefaultForeignSlotBudget
+	}
+	b.index.MaterializeForeignSlots(budget)
+}
+
+// ShardStats reports the shard layout, per-shard build costs and
+// cross-shard fan-out mode of the current index
+// (core.ShardStatsReporter).
+func (b *ShardedIndexBase) ShardStats() ShardStats {
+	if b.index == nil {
+		return ShardStats{}
+	}
+	probes, direct := b.index.FanOutOps()
+	return ShardStats{
+		Shards:           b.index.NumShards(),
+		BuildTimes:       b.index.BuildTimes(),
+		CrossShardMerge:  b.index.MergeTime(),
+		ForeignSlotBytes: b.index.ForeignSlotBytes(),
+		ProbeOps:         probes,
+		DirectOps:        direct,
+	}
 }
 
 // Params returns the banding configuration.
@@ -154,6 +224,9 @@ func (b *ShardedIndexBase) BuildFrozen(workers int) error {
 	}
 	err := b.index.BuildFrozen(b.presigned, b.n, workers)
 	b.presigned = nil
+	if err == nil {
+		b.materializeForeign()
+	}
 	return err
 }
 
@@ -195,6 +268,7 @@ func (b *ShardedIndexBase) CandidatesUnindexedWith(item int32, assign []int32, s
 func (b *ShardedIndexBase) Freeze() {
 	if b.index != nil {
 		b.index.Freeze()
+		b.materializeForeign()
 	}
 	b.presigned = nil
 }

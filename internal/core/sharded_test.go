@@ -16,58 +16,93 @@ import (
 // assertShardsEqual runs the same configuration at every given shard
 // count, with Shards=1 (the unsharded oracle) as reference, and
 // asserts bit-identical outcomes: assignments, per-iteration moves and
-// costs, convergence, and final centroids.
+// costs, convergence, and final centroids. Each sharded count is
+// additionally run against its two hot-path oracles — the key-probe
+// fan-out (DisableForeignSlots, checking the materialised foreign-slot
+// arrays) and the scalar kernels (ScalarKernels, checking the unrolled
+// distance/signing loops) — which must also match the reference.
 func assertShardsEqual(t *testing.T, mk func() (core.Space, core.Accelerator), fingerprint func(core.Space) []byte, opts core.Options, shardCounts []int) {
 	t.Helper()
-	run := func(shards int) (*core.Result, []byte) {
+	run := func(shards int, mut func(*core.Options)) (*core.Result, []byte) {
 		o := opts
 		o.Shards = shards
 		space, accel := mk()
 		o.Accelerator = accel
+		if mut != nil {
+			mut(&o)
+		}
 		res, err := core.Run(space, o)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res, fingerprint(space)
 	}
-	ref, refCentroids := run(1)
-	for _, shards := range shardCounts {
-		if shards == 1 {
-			continue
-		}
-		got, gotCentroids := run(shards)
+	ref, refCentroids := run(1, nil)
+	compare := func(label string, got *core.Result, gotCentroids []byte) {
+		t.Helper()
 		for i := range ref.Assign {
 			if ref.Assign[i] != got.Assign[i] {
-				t.Fatalf("shards=%d: assign[%d] = %d, oracle %d", shards, i, got.Assign[i], ref.Assign[i])
+				t.Fatalf("%s: assign[%d] = %d, oracle %d", label, i, got.Assign[i], ref.Assign[i])
 			}
 		}
 		if got.Stats.Converged != ref.Stats.Converged {
-			t.Fatalf("shards=%d: converged %v, oracle %v", shards, got.Stats.Converged, ref.Stats.Converged)
+			t.Fatalf("%s: converged %v, oracle %v", label, got.Stats.Converged, ref.Stats.Converged)
 		}
 		if len(got.Stats.Iterations) != len(ref.Stats.Iterations) {
-			t.Fatalf("shards=%d: %d iterations, oracle %d",
-				shards, len(got.Stats.Iterations), len(ref.Stats.Iterations))
+			t.Fatalf("%s: %d iterations, oracle %d",
+				label, len(got.Stats.Iterations), len(ref.Stats.Iterations))
 		}
 		for i := range ref.Stats.Iterations {
 			a, b := ref.Stats.Iterations[i], got.Stats.Iterations[i]
 			if a.Moves != b.Moves {
-				t.Fatalf("shards=%d iteration %d: %d moves, oracle %d", shards, i+1, b.Moves, a.Moves)
+				t.Fatalf("%s iteration %d: %d moves, oracle %d", label, i+1, b.Moves, a.Moves)
 			}
 			if a.Cost != b.Cost {
-				t.Fatalf("shards=%d iteration %d: cost %v, oracle %v", shards, i+1, b.Cost, a.Cost)
+				t.Fatalf("%s iteration %d: cost %v, oracle %v", label, i+1, b.Cost, a.Cost)
 			}
 			if a.CandidatesTotal != b.CandidatesTotal {
-				t.Fatalf("shards=%d iteration %d: %d candidates, oracle %d",
-					shards, i+1, b.CandidatesTotal, a.CandidatesTotal)
+				t.Fatalf("%s iteration %d: %d candidates, oracle %d",
+					label, i+1, b.CandidatesTotal, a.CandidatesTotal)
 			}
 		}
 		if !bytes.Equal(refCentroids, gotCentroids) {
-			t.Fatalf("shards=%d: final centroids differ from the unsharded oracle", shards)
+			t.Fatalf("%s: final centroids differ from the unsharded oracle", label)
 		}
+	}
+	for _, shards := range shardCounts {
+		if shards == 1 {
+			continue
+		}
+		got, gotCentroids := run(shards, nil)
+		compare(fmt.Sprintf("shards=%d", shards), got, gotCentroids)
 		if got.Stats.Shards != shards {
 			t.Fatalf("shards=%d: stats recorded %d shards", shards, got.Stats.Shards)
 		}
+		// These workloads fit the default foreign-slot budget, so the
+		// default sharded run must have materialised and fanned out by
+		// direct loads.
+		if got.Stats.ForeignSlotBytes <= 0 {
+			t.Fatalf("shards=%d: no foreign-slot bytes recorded", shards)
+		}
+		if got.Stats.CrossShardDirect <= 0 {
+			t.Fatalf("shards=%d: no direct fan-out ops recorded", shards)
+		}
+		probeRun, probeCentroids := run(shards, func(o *core.Options) { o.DisableForeignSlots = true })
+		compare(fmt.Sprintf("shards=%d/probe-oracle", shards), probeRun, probeCentroids)
+		if probeRun.Stats.ForeignSlotBytes != 0 {
+			t.Fatalf("shards=%d: probe oracle recorded %d foreign-slot bytes",
+				shards, probeRun.Stats.ForeignSlotBytes)
+		}
+		if probeRun.Stats.CrossShardDirect != 0 {
+			t.Fatalf("shards=%d: probe oracle recorded %d direct fan-out ops",
+				shards, probeRun.Stats.CrossShardDirect)
+		}
+		scalarRun, scalarCentroids := run(shards, func(o *core.Options) { o.ScalarKernels = true })
+		compare(fmt.Sprintf("shards=%d/scalar-kernels", shards), scalarRun, scalarCentroids)
 	}
+	// The kernel oracle must hold on the unsharded reference path too.
+	scalarRef, scalarRefCentroids := run(1, func(o *core.Options) { o.ScalarKernels = true })
+	compare("shards=1/scalar-kernels", scalarRef, scalarRefCentroids)
 }
 
 // TestShardInvarianceKModes is the headline shard-count equivalence
@@ -201,12 +236,22 @@ func TestShardStatsRecorded(t *testing.T) {
 	if st.CrossShardMerge <= 0 {
 		t.Fatal("sharded run recorded no cross-shard merge time")
 	}
+	if st.ForeignSlotBytes <= 0 {
+		t.Fatal("sharded run under the default budget recorded no foreign-slot bytes")
+	}
+	if st.CrossShardDirect <= 0 {
+		t.Fatal("sharded run recorded no direct fan-out ops")
+	}
 	st = run(1).Stats
 	if st.Shards != 1 {
 		t.Fatalf("oracle Shards = %d, want 1", st.Shards)
 	}
 	if st.CrossShardMerge != 0 {
 		t.Fatalf("oracle recorded cross-shard merge time %v", st.CrossShardMerge)
+	}
+	if st.ForeignSlotBytes != 0 || st.CrossShardProbes != 0 || st.CrossShardDirect != 0 {
+		t.Fatalf("oracle recorded cross-shard fan-out state: %d bytes, %d probes, %d direct",
+			st.ForeignSlotBytes, st.CrossShardProbes, st.CrossShardDirect)
 	}
 }
 

@@ -23,6 +23,8 @@ package dataset
 
 import (
 	"fmt"
+
+	"lshcluster/internal/kernel"
 )
 
 // Value is an interned categorical value identifier. The zero Value is
@@ -189,29 +191,51 @@ func (ds *Dataset) Jaccard(i, j int) float64 {
 
 // Mismatches returns the K-Modes dissimilarity between rows x and y: the
 // number of attributes on which they differ (paper Eq. 1–2). Both slices
-// must have equal length.
+// must have equal length. The count runs on the unrolled branchless
+// kernel (internal/kernel); MismatchesScalar is the value-identical
+// scalar reference.
 func Mismatches(x, y []Value) int {
 	if len(x) != len(y) {
 		panic("dataset: Mismatches on rows of different arity")
 	}
-	d := 0
-	for a := range x {
-		if x[a] != y[a] {
-			d++
-		}
+	return kernel.Mismatches(x, y)
+}
+
+// MismatchesScalar is the scalar reference for Mismatches — the oracle
+// the kernel equivalence tests (and core.Options.ScalarKernels runs)
+// compare against.
+func MismatchesScalar(x, y []Value) int {
+	if len(x) != len(y) {
+		panic("dataset: Mismatches on rows of different arity")
 	}
-	return d
+	return kernel.MismatchesScalar(x, y)
 }
 
 // MismatchesMaskedBounded counts mismatches between x and y over the
 // attributes flagged in present only, returning early with a value ≥
 // bound as soon as the count reaches bound. Absent attributes are
 // treated as missing data: they contribute nothing to the distance. A
-// nil mask compares every attribute (MismatchesBounded).
+// nil mask compares every attribute (MismatchesBounded, the unrolled
+// kernel); the masked loop itself stays scalar — the mask's
+// data-dependent skip defeats straight-line unrolling.
 func MismatchesMaskedBounded(x, y []Value, present []bool, bound int) int {
 	if present == nil {
 		return MismatchesBounded(x, y, bound)
 	}
+	return mismatchesMasked(x, y, present, bound)
+}
+
+// MismatchesMaskedBoundedScalar is the scalar reference for
+// MismatchesMaskedBounded: identical except that a nil mask runs the
+// scalar bounded count.
+func MismatchesMaskedBoundedScalar(x, y []Value, present []bool, bound int) int {
+	if present == nil {
+		return MismatchesBoundedScalar(x, y, bound)
+	}
+	return mismatchesMasked(x, y, present, bound)
+}
+
+func mismatchesMasked(x, y []Value, present []bool, bound int) int {
 	if len(present) != len(x) {
 		panic("dataset: MismatchesMaskedBounded mask arity mismatch")
 	}
@@ -229,16 +253,14 @@ func MismatchesMaskedBounded(x, y []Value, present []bool, bound int) int {
 
 // MismatchesBounded counts mismatches between x and y but returns early
 // with a value ≥ bound as soon as the count reaches bound. It is the
-// early-abandon variant used when a best-so-far distance is known.
+// early-abandon variant used when a best-so-far distance is known. The
+// count runs on the unrolled kernel, whose early-exit return value is
+// exactly the scalar reference's (see kernel.MismatchesBounded).
 func MismatchesBounded(x, y []Value, bound int) int {
-	d := 0
-	for a := range x {
-		if x[a] != y[a] {
-			d++
-			if d >= bound {
-				return d
-			}
-		}
-	}
-	return d
+	return kernel.MismatchesBounded(x, y, bound)
+}
+
+// MismatchesBoundedScalar is the scalar reference for MismatchesBounded.
+func MismatchesBoundedScalar(x, y []Value, bound int) int {
+	return kernel.MismatchesBoundedScalar(x, y, bound)
 }

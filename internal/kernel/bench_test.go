@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks: each optimised kernel against its scalar
+// reference, at the short row lengths the clustering hot paths use
+// (m ≈ 24 categorical attributes, dim ≈ 32 numeric, 100-bit SimHash
+// signatures) and one longer length for headroom. CI runs these and
+// uploads bench-kernels.txt; the Kernel/Scalar ratio is the measured
+// win the ROADMAP records.
+
+const (
+	benchShort = 24
+	benchLong  = 256
+)
+
+func benchPair(n int) (x, y []uint32) {
+	rng := rand.New(rand.NewSource(11))
+	x = make([]uint32, n)
+	y = make([]uint32, n)
+	for i := range x {
+		x[i] = rng.Uint32() % 64
+		if rng.Float64() < 0.5 {
+			y[i] = x[i]
+		} else {
+			y[i] = rng.Uint32() % 64
+		}
+	}
+	return x, y
+}
+
+var sinkInt int
+var sinkFloat float64
+
+func benchMismatches(b *testing.B, n int, fn func(x, y []uint32) int) {
+	x, y := benchPair(n)
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = fn(x, y)
+	}
+}
+
+func BenchmarkMismatchesScalar24(b *testing.B) {
+	benchMismatches(b, benchShort, MismatchesScalar[uint32])
+}
+func BenchmarkMismatchesKernel24(b *testing.B) {
+	benchMismatches(b, benchShort, Mismatches[uint32])
+}
+func BenchmarkMismatchesScalar256(b *testing.B) {
+	benchMismatches(b, benchLong, MismatchesScalar[uint32])
+}
+func BenchmarkMismatchesKernel256(b *testing.B) {
+	benchMismatches(b, benchLong, Mismatches[uint32])
+}
+
+func benchMismatchesBounded(b *testing.B, n int, fn func(x, y []uint32, bound int) int) {
+	x, y := benchPair(n)
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A bound above the true count: the no-early-exit case the
+		// best-so-far loop hits on every new winner.
+		sinkInt = fn(x, y, n+1)
+	}
+}
+
+func BenchmarkMismatchesBoundedScalar24(b *testing.B) {
+	benchMismatchesBounded(b, benchShort, MismatchesBoundedScalar[uint32])
+}
+func BenchmarkMismatchesBoundedKernel24(b *testing.B) {
+	benchMismatchesBounded(b, benchShort, MismatchesBounded[uint32])
+}
+
+func benchVecs(n int) (x, y []float64) {
+	rng := rand.New(rand.NewSource(12))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	return x, y
+}
+
+func benchFloat(b *testing.B, n int, fn func(x, y []float64) float64) {
+	x, y := benchVecs(n)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = fn(x, y)
+	}
+}
+
+func BenchmarkSquaredDistanceScalar32(b *testing.B) {
+	benchFloat(b, 32, SquaredDistanceScalar)
+}
+func BenchmarkSquaredDistanceKernel32(b *testing.B) {
+	benchFloat(b, 32, SquaredDistance)
+}
+func BenchmarkSquaredDistanceScalar256(b *testing.B) {
+	benchFloat(b, benchLong, SquaredDistanceScalar)
+}
+func BenchmarkSquaredDistanceKernel256(b *testing.B) {
+	benchFloat(b, benchLong, SquaredDistance)
+}
+
+func BenchmarkDotScalar32(b *testing.B)  { benchFloat(b, 32, DotScalar) }
+func BenchmarkDotKernel32(b *testing.B)  { benchFloat(b, 32, Dot) }
+func BenchmarkDotScalar256(b *testing.B) { benchFloat(b, benchLong, DotScalar) }
+func BenchmarkDotKernel256(b *testing.B) { benchFloat(b, benchLong, Dot) }
+
+// The Hamming pair: the scalar baseline compares the unpacked
+// one-bit-per-word signatures (the index's row-value format); the
+// kernel runs XOR+popcount over the packed form. Packing is a one-off
+// cost paid at signature creation, so it is excluded here.
+func BenchmarkHammingScalar100(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x := make([]uint64, 100)
+	y := make([]uint64, 100)
+	for i := range x {
+		x[i] = uint64(rng.Intn(2))
+		y[i] = uint64(rng.Intn(2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = HammingScalar(x, y)
+	}
+}
+
+func BenchmarkHammingPacked100(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x := make([]uint64, 100)
+	y := make([]uint64, 100)
+	for i := range x {
+		x[i] = uint64(rng.Intn(2))
+		y[i] = uint64(rng.Intn(2))
+	}
+	px := PackBits(x, nil)
+	py := PackBits(y, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = Hamming(px, py)
+	}
+}

@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randPair produces two length-n uint32 slices where each position
+// mismatches with probability p — exercising all-match, all-mismatch
+// and mixed patterns.
+func randPair(rng *rand.Rand, n int, p float64) (x, y []uint32) {
+	x = make([]uint32, n)
+	y = make([]uint32, n)
+	for i := range x {
+		x[i] = rng.Uint32() % 16
+		if rng.Float64() < p {
+			y[i] = x[i] + 1 + rng.Uint32()%8
+		} else {
+			y[i] = x[i]
+		}
+	}
+	return x, y
+}
+
+// lengths covers the empty slice, every tail remainder 1–7, exact
+// block multiples and longer mixed cases.
+var lengths = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 15, 16, 17, 23, 24, 31, 32, 63, 64, 100, 257}
+
+// TestMismatchesMatchesScalar pins the unrolled kernel to the scalar
+// reference on random inputs across every tail remainder.
+func TestMismatchesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range lengths {
+		for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			for trial := 0; trial < 20; trial++ {
+				x, y := randPair(rng, n, p)
+				want := MismatchesScalar(x, y)
+				if got := Mismatches(x, y); got != want {
+					t.Fatalf("Mismatches(n=%d, p=%v) = %d, scalar %d", n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMismatchesBoundedMatchesScalar pins the bounded kernel's return
+// value — including its early-exit value — exactly to the reference,
+// for bounds below, at and above the true count, and bounds ≤ 0.
+func TestMismatchesBoundedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range lengths {
+		for _, p := range []float64{0, 0.3, 1} {
+			for trial := 0; trial < 20; trial++ {
+				x, y := randPair(rng, n, p)
+				total := MismatchesScalar(x, y)
+				for _, bound := range []int{-1, 0, 1, 2, total - 1, total, total + 1, n, n + 5} {
+					want := MismatchesBoundedScalar(x, y, bound)
+					if got := MismatchesBounded(x, y, bound); got != want {
+						t.Fatalf("MismatchesBounded(n=%d, total=%d, bound=%d) = %d, scalar %d",
+							n, total, bound, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func randVecs(rng *rand.Rand, n int) (x, y []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	return x, y
+}
+
+// TestSquaredDistanceBitIdentical pins the unrolled squared distance to
+// the scalar reference bit for bit: the single-accumulator unroll must
+// preserve the rounding sequence, not merely the approximate value.
+func TestSquaredDistanceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			x, y := randVecs(rng, n)
+			want := SquaredDistanceScalar(x, y)
+			got := SquaredDistance(x, y)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("SquaredDistance(n=%d) = %x, scalar %x", n,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestSquaredDistanceBoundedContract checks the bounded kernel against
+// the contract bounded-distance callers rely on: results below the
+// bound are the exact (bit-identical) full distance, and the kernel
+// reaches the bound exactly when the reference does.
+func TestSquaredDistanceBoundedContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			x, y := randVecs(rng, n)
+			full := SquaredDistanceScalar(x, y)
+			for _, bound := range []float64{0, full * 0.25, full * 0.99, full, full + 1, math.Inf(1)} {
+				want := SquaredDistanceBoundedScalar(x, y, bound)
+				got := SquaredDistanceBounded(x, y, bound)
+				if (got >= bound) != (want >= bound) {
+					t.Fatalf("SquaredDistanceBounded(n=%d, bound=%v): kernel %v, scalar %v disagree on reaching the bound",
+						n, bound, got, want)
+				}
+				if want < bound && math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("SquaredDistanceBounded(n=%d, bound=%v) = %x below bound, scalar %x",
+						n, bound, math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestDotBitIdentical pins the unrolled dot product to the scalar
+// reference bit for bit — SimHash sign bits depend on it.
+func TestDotBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			x, y := randVecs(rng, n)
+			want := DotScalar(x, y)
+			got := Dot(x, y)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("Dot(n=%d) = %x, scalar %x", n,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestPackBitsHamming packs random 0/1 signatures and checks the packed
+// popcount Hamming against the scalar per-word comparison, including
+// signature lengths that leave a partial final word.
+func TestPackBitsHamming(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var bufA, bufB []uint64
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			a := make([]uint64, n)
+			b := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(rng.Intn(2))
+				b[i] = uint64(rng.Intn(2))
+			}
+			want := HammingScalar(a, b)
+			bufA = PackBits(a, bufA)
+			bufB = PackBits(b, bufB)
+			if len(bufA) != PackedWords(n) {
+				t.Fatalf("PackBits(n=%d) returned %d words, want %d", n, len(bufA), PackedWords(n))
+			}
+			if got := Hamming(bufA, bufB); got != want {
+				t.Fatalf("Hamming(n=%d) = %d, scalar %d", n, got, want)
+			}
+		}
+	}
+}
+
+// FuzzMismatches cross-checks both mismatch kernels against their
+// references on arbitrary byte-derived inputs, covering every length
+// remainder and arbitrary bounds.
+func FuzzMismatches(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{1, 2, 0, 4, 0, 6, 7, 0, 9}, 3)
+	f.Add([]byte{}, []byte{}, 0)
+	f.Add([]byte{7}, []byte{9}, -2)
+	f.Fuzz(func(t *testing.T, xb, yb []byte, bound int) {
+		n := len(xb)
+		if len(yb) < n {
+			n = len(yb)
+		}
+		x := make([]uint32, n)
+		y := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			x[i] = uint32(xb[i])
+			y[i] = uint32(yb[i])
+		}
+		if got, want := Mismatches(x, y), MismatchesScalar(x, y); got != want {
+			t.Fatalf("Mismatches = %d, scalar %d", got, want)
+		}
+		if got, want := MismatchesBounded(x, y, bound), MismatchesBoundedScalar(x, y, bound); got != want {
+			t.Fatalf("MismatchesBounded(bound=%d) = %d, scalar %d", bound, got, want)
+		}
+	})
+}
+
+// FuzzHamming cross-checks the packed Hamming kernel on arbitrary
+// byte-derived sign sequences.
+func FuzzHamming(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 1}, []byte{1, 1, 0, 0, 1})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		n := len(ab)
+		if len(bb) < n {
+			n = len(bb)
+		}
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			a[i] = uint64(ab[i] & 1)
+			b[i] = uint64(bb[i] & 1)
+		}
+		want := HammingScalar(a, b)
+		if got := Hamming(PackBits(a, nil), PackBits(b, nil)); got != want {
+			t.Fatalf("Hamming = %d, scalar %d", got, want)
+		}
+	})
+}

@@ -9,6 +9,8 @@ package kmeans
 import (
 	"fmt"
 	"math/rand"
+
+	"lshcluster/internal/kernel"
 )
 
 // EmptyClusterPolicy selects what happens to clusters that lose all
@@ -48,7 +50,19 @@ type Space struct {
 	// inc holds the incremental engine state (core.IncrementalSpace);
 	// nil until BeginIncremental.
 	inc *incremental
+
+	// scalarKernels routes distance evaluations through the scalar
+	// reference kernels instead of the unrolled ones — the oracle the
+	// kernel equivalence runs compare against (core.KernelConfigurable).
+	// The unrolled kernels keep the scalar accumulation order, so
+	// results are bit-identical either way.
+	scalarKernels bool
 }
+
+// SetScalarKernels switches the space between the unrolled distance
+// kernels (false, the default) and their scalar references (true, the
+// bit-identical oracle). Set before a run, not during one.
+func (s *Space) SetScalarKernels(scalar bool) { s.scalarKernels = scalar }
 
 // NewSpace picks cfg.K distinct random points as initial centroids.
 func NewSpace(points []float64, dim int, cfg Config) (*Space, error) {
@@ -137,33 +151,30 @@ func (s *Space) NumClusters() int { return s.k }
 func (s *Space) Seeds() []int32 { return s.seeds }
 
 // Dissimilarity returns the squared Euclidean distance between point
-// item and centroid cluster.
+// item and centroid cluster, via the unrolled kernel (bit-identical to
+// the scalar reference by construction).
 func (s *Space) Dissimilarity(item, cluster int) float64 {
 	p := s.Point(item)
 	c := s.centroid(cluster)
-	var sum float64
-	for i := range p {
-		d := p[i] - c[i]
-		sum += d * d
+	if s.scalarKernels {
+		return kernel.SquaredDistanceScalar(p, c)
 	}
-	return sum
+	return kernel.SquaredDistance(p, c)
 }
 
 // BoundedDissimilarity accumulates the squared distance but returns as
 // soon as the partial sum reaches bound (the sum is monotone in the
-// coordinates).
+// coordinates). The unrolled kernel checks the bound once per block,
+// so an early exit may return a larger partial sum than the scalar
+// reference's — both ≥ bound, which is all the driver relies on;
+// results below the bound are bit-identical.
 func (s *Space) BoundedDissimilarity(item, cluster int, bound float64) float64 {
 	p := s.Point(item)
 	c := s.centroid(cluster)
-	var sum float64
-	for i := range p {
-		d := p[i] - c[i]
-		sum += d * d
-		if sum >= bound {
-			return sum
-		}
+	if s.scalarKernels {
+		return kernel.SquaredDistanceBoundedScalar(p, c, bound)
 	}
-	return sum
+	return kernel.SquaredDistanceBounded(p, c, bound)
 }
 
 // RecomputeCentroids sets every centroid to the mean of its members;

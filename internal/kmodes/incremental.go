@@ -2,8 +2,6 @@ package kmodes
 
 import (
 	"slices"
-
-	"lshcluster/internal/dataset"
 )
 
 // This file implements core.IncrementalSpace for the K-Modes space:
@@ -88,7 +86,7 @@ func (s *Space) BeginIncremental(assign []int32, trackCost bool) {
 		inc.itemCost = inc.itemCost[:n]
 		inc.total = 0
 		for i, c := range assign {
-			d := int32(dataset.Mismatches(s.ds.Row(i), s.mode(int(c))))
+			d := int32(s.mismatches(s.ds.Row(i), s.mode(int(c))))
 			inc.itemCost[i] = d
 			inc.total += int64(d)
 		}
@@ -107,7 +105,7 @@ func (s *Space) ApplyMove(item int, from, to int32) {
 	if inc.trackCost {
 		// Cost against the pass-frozen mode of the new cluster; if that
 		// mode changes at FinishPass the member rescan refreshes it.
-		d := int32(dataset.Mismatches(row, s.mode(int(to))))
+		d := int32(s.mismatches(row, s.mode(int(to))))
 		inc.total += int64(d - inc.itemCost[item])
 		inc.itemCost[item] = d
 	}
@@ -162,7 +160,7 @@ func (s *Space) FinishPass(assign []int32) {
 		// members of clusters whose mode actually changed.
 		for i, c := range assign {
 			if inc.changed[c] {
-				d := int32(dataset.Mismatches(s.ds.Row(i), s.mode(int(c))))
+				d := int32(s.mismatches(s.ds.Row(i), s.mode(int(c))))
 				inc.total += int64(d - inc.itemCost[i])
 				inc.itemCost[i] = d
 			}

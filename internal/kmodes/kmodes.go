@@ -61,6 +61,33 @@ type Space struct {
 	// inc holds the FreqTable-backed incremental engine state
 	// (core.IncrementalSpace); nil until BeginIncremental.
 	inc *incremental
+
+	// scalarKernels routes distance evaluations through the scalar
+	// reference kernels instead of the unrolled ones — the oracle the
+	// kernel equivalence runs compare against (core.KernelConfigurable).
+	scalarKernels bool
+}
+
+// SetScalarKernels switches the space between the unrolled mismatch
+// kernels (false, the default) and their scalar references (true, the
+// bit-identical oracle). Set before a run, not during one.
+func (s *Space) SetScalarKernels(scalar bool) { s.scalarKernels = scalar }
+
+// mismatches counts full-row mismatches through the configured kernel.
+func (s *Space) mismatches(x, y []dataset.Value) int {
+	if s.scalarKernels {
+		return dataset.MismatchesScalar(x, y)
+	}
+	return dataset.Mismatches(x, y)
+}
+
+// mismatchesBounded counts early-abandon mismatches through the
+// configured kernel.
+func (s *Space) mismatchesBounded(x, y []dataset.Value, bound int) int {
+	if s.scalarKernels {
+		return dataset.MismatchesBoundedScalar(x, y, bound)
+	}
+	return dataset.MismatchesBounded(x, y, bound)
 }
 
 // NewSpace selects cfg.K distinct random items as initial modes (the
@@ -144,7 +171,7 @@ func (s *Space) Mode(c int) []dataset.Value { return s.mode(c) }
 // Dissimilarity returns d(item, mode_c): the number of mismatching
 // attributes (Eq. 1–2).
 func (s *Space) Dissimilarity(item, cluster int) float64 {
-	return float64(dataset.Mismatches(s.ds.Row(item), s.mode(cluster)))
+	return float64(s.mismatches(s.ds.Row(item), s.mode(cluster)))
 }
 
 // BoundedDissimilarity behaves like Dissimilarity but may return any
@@ -156,7 +183,7 @@ func (s *Space) BoundedDissimilarity(item, cluster int, bound float64) float64 {
 	if float64(ib) < bound {
 		ib++ // ceil for non-integral bounds
 	}
-	return float64(dataset.MismatchesBounded(s.ds.Row(item), s.mode(cluster), ib))
+	return float64(s.mismatchesBounded(s.ds.Row(item), s.mode(cluster), ib))
 }
 
 // RecomputeCentroids recalculates every cluster's mode as the
@@ -224,7 +251,7 @@ func (s *Space) ClusterSizes(assign []int32) []int32 {
 func (s *Space) Cost(assign []int32) float64 {
 	total := 0
 	for i, c := range assign {
-		total += dataset.Mismatches(s.ds.Row(i), s.mode(int(c)))
+		total += s.mismatches(s.ds.Row(i), s.mode(int(c)))
 	}
 	return float64(total)
 }

@@ -195,6 +195,7 @@ func (ix *Index) BuildFrozen(keys []uint64, n, workers int) error {
 		total += len(builds[b].counts)
 	}
 	base[bands] = int32(total)
+	fz.bandStart = base
 	fz.offsets = make([]int32, total+1)
 	fz.items = make([]int32, n*bands)
 	fz.keys = make([]uint64, total)

@@ -1,0 +1,105 @@
+package lsh
+
+import "sync"
+
+// Cross-shard fan-out without key probes. A sharded query resolves the
+// query item's bucket in its owning shard directly (freeze-time slots),
+// but every *foreign* shard is reached through that shard's per-band
+// key table — one open-addressed probe per (item, band, foreign shard),
+// the dominant memory traffic of the fan-out once shards are frozen.
+//
+// The probes recompute a pure function of frozen state: foreign shard
+// t's bucket for owner shard s's bucket slot u is tables_t[band(u)].
+// get(keys_s[u]), fixed once every shard is frozen — and so is the CSR
+// span that bucket occupies. MaterializeForeignSlots evaluates the
+// whole chain once per (s, t, u), storing the resolved [lo, hi) spans
+// into the foreign shard's items array — one flat array per owner
+// shard, row-interleaved so slot u's S−1 foreign spans are adjacent.
+// A query's cross-shard fan-out for one band then touches one cache
+// line and goes straight to the foreign items: no key read, no table
+// probe, no offsets load. Candidate streams are unchanged by
+// construction (the arrays cache exactly what the probes would
+// return); the probe path remains in place both as the fallback when
+// the arrays are over budget and as the bit-identical oracle the
+// equivalence tests compare against.
+//
+// Memory cost is 8·(S−1) bytes per bucket, summed over every shard's
+// buckets — quadratic in nothing (buckets are partitioned, not
+// replicated), but still worth gating: the budget keeps the arrays from
+// dwarfing the CSR layout itself on high-S, high-cardinality runs.
+
+// DefaultForeignSlotBudget is the foreign-slot memory budget (bytes)
+// applied when the caller does not choose one: generous next to the
+// frozen CSR arrays of the workloads this repo targets, small next to
+// the datasets themselves.
+const DefaultForeignSlotBudget = 64 << 20
+
+// MaterializeForeignSlots precomputes the cross-shard fan-out arrays,
+// provided every shard is frozen, the partition is range-mode and the
+// arrays fit the budget (bytes; negative means unlimited). It returns
+// the bytes materialised — 0 means the probe path stays in effect
+// (single shard, stride partition, unfrozen shards, or over budget).
+// Idempotent; must not run concurrently with queries.
+func (sh *Sharded) MaterializeForeignSlots(budget int64) int64 {
+	if sh.foreign != nil {
+		return sh.foreignBytes
+	}
+	if sh.single != nil || sh.part.stride || !sh.Frozen() {
+		return 0
+	}
+	S := len(sh.shards)
+	var need int64
+	for _, ix := range sh.shards {
+		need += int64(len(ix.frozen.offsets)-1) * int64(S-1) * 8
+	}
+	if budget >= 0 && need > budget {
+		return 0
+	}
+	foreign := make([][]int32, S)
+	bands := sh.params.Bands
+	stride := 2 * (S - 1)
+	var wg sync.WaitGroup
+	for s := range sh.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			own := sh.shards[s].frozen
+			numSlots := len(own.offsets) - 1
+			rows := make([]int32, numSlots*stride)
+			ti := 0
+			for t := range sh.shards {
+				if t == s {
+					continue // owner resolves itself; no diagonal column
+				}
+				tf := sh.shards[t].frozen
+				for b := 0; b < bands; b++ {
+					tbl := &tf.tables[b]
+					for slot := own.bandStart[b]; slot < own.bandStart[b+1]; slot++ {
+						if ts := tbl.get(own.keys[slot]); ts >= 0 {
+							rows[int(slot)*stride+2*ti] = tf.offsets[ts]
+							rows[int(slot)*stride+2*ti+1] = tf.offsets[ts+1]
+						}
+					}
+				}
+				ti++
+			}
+			foreign[s] = rows
+		}(s)
+	}
+	wg.Wait()
+	sh.foreign = foreign
+	sh.foreignBytes = need
+	return need
+}
+
+// ForeignSlotBytes returns the memory the materialised fan-out arrays
+// occupy, 0 when the probe path is in effect.
+func (sh *Sharded) ForeignSlotBytes() int64 { return sh.foreignBytes }
+
+// FanOutOps returns how many cross-shard bucket resolutions ran through
+// each path: key-table probes versus direct foreign-slot loads. Per-item
+// query paths flush their counts in small batches (see
+// Query.addMergeNanos), so a handful of recent samples may be pending.
+func (sh *Sharded) FanOutOps() (probes, direct int64) {
+	return sh.probeOps.Load(), sh.directOps.Load()
+}

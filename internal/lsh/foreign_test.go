@@ -1,0 +1,202 @@
+package lsh
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// buildFrozenSharded builds a range-sharded frozen index over sets.
+func buildFrozenSharded(t *testing.T, p Params, seed uint64, sets [][]uint64, shards int) *Sharded {
+	t.Helper()
+	sh, err := NewSharded(p, seed, len(sets), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := signKeysFor(sh, sets, 2)
+	if err := sh.BuildFrozen(keys, len(sets), 2); err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// TestForeignSlotsMatchProbePath is the foreign-slot equivalence
+// oracle: with the arrays materialised, every query path — per-item,
+// batched block sweep, reverse view — must reproduce the probe path's
+// candidate stream exactly. The probe index is an identically built
+// twin that never materialised, so the comparison isolates the fan-out
+// mechanism.
+func TestForeignSlotsMatchProbePath(t *testing.T) {
+	const n = 260
+	p := Params{Bands: 6, Rows: 3}
+	sets := testSets(n, 21)
+	for _, shards := range []int{2, 3, 4} {
+		t.Run(fmt.Sprintf("s=%d", shards), func(t *testing.T) {
+			probe := buildFrozenSharded(t, p, 7, sets, shards)
+			fast := buildFrozenSharded(t, p, 7, sets, shards)
+			if got := fast.MaterializeForeignSlots(-1); got <= 0 {
+				t.Fatalf("MaterializeForeignSlots = %d, want > 0", got)
+			}
+			if fast.ForeignSlotBytes() <= 0 {
+				t.Fatal("ForeignSlotBytes not recorded")
+			}
+			pq, fq := probe.NewQuery(), fast.NewQuery()
+			for i := 0; i < n; i++ {
+				want := collectQueryCandidates(pq, int32(i))
+				got := collectQueryCandidates(fq, int32(i))
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("item %d candidates: probe %v, foreign %v", i, want, got)
+				}
+			}
+			for _, blockLen := range []int{1, 7, 64} {
+				for lo := 0; lo < n; lo += blockLen {
+					hi := min(lo+blockLen, n)
+					blk := make([]int32, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						blk = append(blk, int32(i))
+					}
+					want := make([][]int32, len(blk))
+					got := make([][]int32, len(blk))
+					pq.CandidatesBatch(blk, func(pos int, bucket []int32) {
+						want[pos] = append(want[pos], bucket...)
+					})
+					fq.CandidatesBatch(blk, func(pos int, bucket []int32) {
+						got[pos] = append(got[pos], bucket...)
+					})
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("block [%d,%d): probe and foreign batch sweeps differ", lo, hi)
+					}
+				}
+			}
+			prv, frv := probe.NewReverse(), fast.NewReverse()
+			for _, sources := range [][]int32{{0}, {3, 77, 150}, {n - 1, 0, 42}} {
+				want := map[int32]bool{}
+				got := map[int32]bool{}
+				for _, s := range sources {
+					prv.AddSource(s)
+					frv.AddSource(s)
+				}
+				prv.Emit(func(it int32) bool { want[it] = true; return true })
+				frv.Emit(func(it int32) bool { got[it] = true; return true })
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("sources %v: reverse sets differ (probe %d, foreign %d)",
+						sources, len(want), len(got))
+				}
+			}
+			// The fast index served everything by direct loads, the twin
+			// by probes.
+			if probes, direct := fast.FanOutOps(); direct == 0 || probes != 0 {
+				t.Fatalf("foreign index FanOutOps = (%d probes, %d direct)", probes, direct)
+			}
+			if probes, _ := probe.FanOutOps(); probes == 0 {
+				t.Fatal("probe index recorded no probe ops")
+			}
+		})
+	}
+}
+
+// TestForeignSlotsBudgetGating pins the budget contract: a budget below
+// the need leaves the probe path in effect (return 0, no arrays), a
+// sufficient or unlimited budget materialises exactly the predicted
+// bytes, and the call is idempotent.
+func TestForeignSlotsBudgetGating(t *testing.T) {
+	const n = 120
+	p := Params{Bands: 4, Rows: 2}
+	sets := testSets(n, 9)
+	sh := buildFrozenSharded(t, p, 7, sets, 3)
+	var need int64
+	for _, ix := range sh.shards {
+		need += int64(len(ix.frozen.offsets)-1) * int64(len(sh.shards)-1) * 8
+	}
+	if need <= 0 {
+		t.Fatalf("predicted need %d", need)
+	}
+	if got := sh.MaterializeForeignSlots(need - 1); got != 0 {
+		t.Fatalf("under-budget materialisation returned %d", got)
+	}
+	if sh.foreign != nil || sh.ForeignSlotBytes() != 0 {
+		t.Fatal("under-budget call left arrays behind")
+	}
+	if got := sh.MaterializeForeignSlots(need); got != need {
+		t.Fatalf("exact-budget materialisation returned %d, want %d", got, need)
+	}
+	if got := sh.MaterializeForeignSlots(0); got != need {
+		t.Fatalf("repeat materialisation returned %d, want %d (idempotent)", got, need)
+	}
+	if sh.ForeignSlotBytes() != need {
+		t.Fatalf("ForeignSlotBytes = %d, want %d", sh.ForeignSlotBytes(), need)
+	}
+}
+
+// TestForeignSlotsSkippedLayouts pins the layouts that never
+// materialise: single shard, stride partition, unfrozen shards.
+func TestForeignSlotsSkippedLayouts(t *testing.T) {
+	p := Params{Bands: 4, Rows: 2}
+	sets := testSets(40, 5)
+
+	single := buildFrozenSharded(t, p, 7, sets, 1)
+	if got := single.MaterializeForeignSlots(-1); got != 0 {
+		t.Fatalf("single-shard materialisation returned %d", got)
+	}
+
+	stride, err := NewShardedStream(p, 7, 3, len(sets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sets {
+		if err := stride.Insert(int32(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stride.Freeze()
+	if got := stride.MaterializeForeignSlots(-1); got != 0 {
+		t.Fatalf("stride materialisation returned %d", got)
+	}
+
+	unfrozen, err := NewSharded(p, 7, len(sets), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sets {
+		if err := unfrozen.Insert(int32(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := unfrozen.MaterializeForeignSlots(-1); got != 0 {
+		t.Fatalf("unfrozen materialisation returned %d", got)
+	}
+}
+
+// TestBandStartRecorded pins the bandStart invariant both construction
+// paths rely on: band b's buckets occupy IDs [bandStart[b],
+// bandStart[b+1]), covering all buckets, on Freeze and BuildFrozen
+// alike.
+func TestBandStartRecorded(t *testing.T) {
+	const n = 90
+	p := Params{Bands: 5, Rows: 2}
+	sets := testSets(n, 11)
+	frozen := singleReference(t, p, 7, sets, true).frozen
+	built := buildFrozenSharded(t, p, 7, sets, 1).shards[0].frozen
+	for name, fz := range map[string]*frozenIndex{"freeze": frozen, "build": built} {
+		bs := fz.bandStart
+		if len(bs) != p.Bands+1 {
+			t.Fatalf("%s: bandStart has %d entries, want %d", name, len(bs), p.Bands+1)
+		}
+		if bs[0] != 0 || int(bs[p.Bands]) != len(fz.offsets)-1 {
+			t.Fatalf("%s: bandStart %v does not cover %d buckets", name, bs, len(fz.offsets)-1)
+		}
+		for b := 0; b < p.Bands; b++ {
+			if bs[b] > bs[b+1] {
+				t.Fatalf("%s: bandStart not monotone: %v", name, bs)
+			}
+			for slot := bs[b]; slot < bs[b+1]; slot++ {
+				if got := fz.tables[b].get(fz.keys[slot]); got != slot {
+					t.Fatalf("%s: band %d slot %d resolves to %d via its own key", name, b, slot, got)
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(frozen.bandStart, built.bandStart) {
+		t.Fatalf("freeze/build bandStart differ: %v vs %v", frozen.bandStart, built.bandStart)
+	}
+}

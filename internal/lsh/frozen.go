@@ -28,6 +28,10 @@ type frozenIndex struct {
 	// per-item key arena.
 	keys   []uint64
 	tables []keyTable
+	// bandStart[b] is the first bucket ID of band b (len bands+1, so
+	// band b owns slots [bandStart[b], bandStart[b+1])) — the range the
+	// foreign-slot materialiser walks to recover each slot's band.
+	bandStart []int32
 }
 
 // keyTable is a linear-probing open-addressed map from a band key to a
@@ -114,16 +118,18 @@ func (ix *Index) Freeze() {
 		}
 	}
 	fz := &frozenIndex{
-		offsets: make([]int32, 1, totalBuckets+1),
-		items:   make([]int32, 0, totalItems),
-		keys:    make([]uint64, 0, totalBuckets),
-		tables:  make([]keyTable, bands),
+		offsets:   make([]int32, 1, totalBuckets+1),
+		items:     make([]int32, 0, totalItems),
+		keys:      make([]uint64, 0, totalBuckets),
+		tables:    make([]keyTable, bands),
+		bandStart: make([]int32, bands+1),
 	}
 	bucketID := int32(0)
 	// Iterate band indices, not ix.buckets: with nothing inserted the
 	// lazy build storage was never materialised (buckets nil) and every
 	// band still needs a valid empty key table for post-freeze queries.
 	for b := 0; b < bands; b++ {
+		fz.bandStart[b] = bucketID
 		var band map[uint64][]int32
 		var order []uint64
 		if ix.buckets != nil {
@@ -139,6 +145,7 @@ func (ix *Index) Freeze() {
 		}
 		fz.tables[b] = tbl
 	}
+	fz.bandStart[bands] = bucketID
 	fz.slots = make([]int32, len(ix.inserted)*bands)
 	for item, ok := range ix.inserted {
 		base := item * bands

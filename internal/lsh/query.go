@@ -46,6 +46,11 @@ type Query struct {
 	// streaming) pay the shared atomic once per flush, not per query.
 	pendingNanos int64
 	pendingCalls int
+	// pendingProbe/pendingDirect batch the fan-out path counters
+	// (cross-shard bucket resolutions by key probe vs foreign-slot
+	// load) under the same flush cadence.
+	pendingProbe  int64
+	pendingDirect int64
 }
 
 type mergeHead struct {
@@ -67,8 +72,16 @@ func (sh *Sharded) NewQuery() *Query {
 func (q *Query) addMergeNanos(n int64) {
 	q.pendingNanos += n
 	if q.pendingCalls++; q.pendingCalls >= mergeFlushEvery {
-		q.sh.mergeNanos.Add(q.pendingNanos)
+		sh := q.sh
+		sh.mergeNanos.Add(q.pendingNanos)
+		if q.pendingProbe > 0 {
+			sh.probeOps.Add(q.pendingProbe)
+		}
+		if q.pendingDirect > 0 {
+			sh.directOps.Add(q.pendingDirect)
+		}
 		q.pendingNanos, q.pendingCalls = 0, 0
+		q.pendingProbe, q.pendingDirect = 0, 0
 	}
 }
 
@@ -90,10 +103,73 @@ func (q *Query) Candidates(item int32, fn func(other int32)) {
 	}
 	own := sh.shards[s]
 	bands := sh.params.Bands
+	if fz := own.frozen; fz != nil && !sh.part.stride {
+		// Owner-direct frozen path (range mode freezes every shard in
+		// one step): each band resolves the owner's bucket through its
+		// freeze-time slot — no owner key-table probe — and reaches
+		// foreign shards by foreign-slot load when materialised, key
+		// probe otherwise.
+		base := int(local) * bands
+		for b := 0; b < bands; b++ {
+			q.fanOutFrozen(s, fz.slots[base+b], b, fn)
+		}
+		cross := int64(bands) * int64(len(sh.shards)-1)
+		if sh.foreign != nil {
+			q.pendingDirect += cross
+		} else {
+			q.pendingProbe += cross
+		}
+		q.addMergeNanos(time.Since(start).Nanoseconds())
+		return
+	}
 	for b := 0; b < bands; b++ {
 		q.fanOutBand(b, own.itemBandKey(local, b), fn)
 	}
+	q.pendingProbe += int64(bands) * int64(len(sh.shards)-1)
 	q.addMergeNanos(time.Since(start).Nanoseconds())
+}
+
+// fanOutFrozen emits one band's bucket across all shards in ascending
+// shard order (range partition, all shards frozen): the owner through
+// its already-resolved bucket slot, foreign shards through the
+// foreign-slot arrays when materialised and by key probe otherwise.
+// Ascending-shard concatenation is the ascending-ID merge, exactly as
+// in fanOutBand.
+func (q *Query) fanOutFrozen(s int, slot int32, b int, fn func(other int32)) {
+	sh := q.sh
+	if sh.foreign != nil {
+		stride := 2 * (len(sh.shards) - 1)
+		row := sh.foreign[s][int(slot)*stride : int(slot)*stride+stride]
+		ti := 0
+		for t, ix := range sh.shards {
+			fz := ix.frozen
+			if t == s {
+				for _, g := range fz.items[fz.offsets[slot]:fz.offsets[slot+1]] {
+					fn(g)
+				}
+				continue
+			}
+			lo, hi := row[2*ti], row[2*ti+1]
+			ti++
+			for _, g := range fz.items[lo:hi] {
+				fn(g)
+			}
+		}
+		return
+	}
+	key := sh.shards[s].frozen.keys[slot]
+	for t, ix := range sh.shards {
+		if t == s {
+			fz := ix.frozen
+			for _, g := range fz.items[fz.offsets[slot]:fz.offsets[slot+1]] {
+				fn(g)
+			}
+			continue
+		}
+		for _, g := range ix.lookupBucket(b, key) {
+			fn(g)
+		}
+	}
 }
 
 // fanOutBand emits one band's colliding items across all shards in
@@ -174,15 +250,18 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 		q.slotBuf = make([]int32, n)
 	}
 	owners, locals, keyBuf := q.owners[:n], q.locals[:n], q.keyBuf[:n]
+	valid := 0
 	for pos, item := range items {
 		s, local, ok := sh.part.locate(item)
 		if ok && sh.shards[s].isInserted(local) {
 			owners[pos], locals[pos] = int32(s), local
+			valid++
 		} else {
 			owners[pos] = -1
 		}
 	}
 	bands := sh.params.Bands
+	cross := int64(valid) * int64(bands) * int64(len(sh.shards)-1)
 	frozenAll := true
 	for _, ix := range sh.shards {
 		if ix.frozen == nil {
@@ -190,8 +269,79 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 			break
 		}
 	}
+	if frozenAll && sh.foreign != nil {
+		// Foreign-slot fast path: the owning shard resolves each
+		// position's bucket slot directly and every foreign shard's
+		// bucket span is one indexed load off that — band keys are
+		// never read, tables never probed, foreign offsets never
+		// touched. Range blocks are (nearly) sorted by global ID, so
+		// positions cluster into runs owned by one shard; each run
+		// hoists its shard and foreign-row lookups, and the interleaved
+		// rows keep a position's whole fan-out on the cache line its
+		// first foreign load pulled in.
+		stride := 2 * (len(sh.shards) - 1)
+		slotBuf := q.slotBuf[:n]
+		for b := 0; b < bands; b++ {
+			for pos := 0; pos < n; {
+				o := owners[pos]
+				if o < 0 {
+					pos++
+					continue
+				}
+				end := pos + 1
+				for end < n && owners[end] == o {
+					end++
+				}
+				fz := sh.shards[o].frozen
+				slots, loc := fz.slots, locals
+				for p := pos; p < end; p++ {
+					slotBuf[p] = slots[int(loc[p])*bands+b]
+				}
+				pos = end
+			}
+			for t, ix := range sh.shards {
+				fz := ix.frozen
+				offs, bucketed := fz.offsets, fz.items
+				for pos := 0; pos < n; {
+					o := owners[pos]
+					if o < 0 {
+						pos++
+						continue
+					}
+					end := pos + 1
+					for end < n && owners[end] == o {
+						end++
+					}
+					if o == int32(t) {
+						for p := pos; p < end; p++ {
+							slot := slotBuf[p]
+							if lo, hi := offs[slot], offs[slot+1]; hi > lo {
+								fn(p, bucketed[lo:hi])
+							}
+						}
+					} else {
+						frows := sh.foreign[o]
+						ti := t
+						if t > int(o) {
+							ti = t - 1
+						}
+						for p := pos; p < end; p++ {
+							at := int(slotBuf[p])*stride + 2*ti
+							if lo, hi := frows[at], frows[at+1]; hi > lo {
+								fn(p, bucketed[lo:hi])
+							}
+						}
+					}
+					pos = end
+				}
+			}
+		}
+		sh.directOps.Add(cross)
+		sh.mergeNanos.Add(time.Since(start).Nanoseconds())
+		return
+	}
 	if frozenAll {
-		// Frozen fast path: the owning shard resolves each position's
+		// Frozen probe path: the owning shard resolves each position's
 		// bucket slot directly (no probe) and its key feeds the foreign
 		// probes, each of which is one interleaved-table cache line.
 		slotBuf := q.slotBuf[:n]
@@ -224,6 +374,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 				}
 			}
 		}
+		sh.probeOps.Add(cross)
 		sh.mergeNanos.Add(time.Since(start).Nanoseconds())
 		return
 	}
@@ -244,6 +395,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 			}
 		}
 	}
+	sh.probeOps.Add(cross)
 	sh.mergeNanos.Add(time.Since(start).Nanoseconds())
 }
 
@@ -264,6 +416,7 @@ func (q *Query) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
 	for b, key := range keys {
 		q.fanOutBand(b, key, fn)
 	}
+	q.pendingProbe += int64(len(keys)) * int64(len(sh.shards)-1)
 	q.addMergeNanos(time.Since(start).Nanoseconds())
 }
 

@@ -68,6 +68,22 @@ type Sharded struct {
 	// S = 1, where no fan-out exists. Atomic: parallel pass workers
 	// query concurrently.
 	mergeNanos atomic.Int64
+	// foreign, when non-nil, holds the materialised cross-shard fan-out
+	// arrays, one per owner shard s, row-interleaved so a bucket's
+	// foreign spans share a cache line: foreign[s][u·2(S−1)+2ti] and
+	// the following entry are the [lo, hi) span in foreign shard t's
+	// items array of the bucket matching owner shard s's bucket slot u
+	// (same band, same key), lo == hi when shard t has no such bucket;
+	// ti skips the owner (ti = t for t < s, t−1 for t > s — the owner
+	// resolves itself through its freeze-time slots). See
+	// MaterializeForeignSlots in foreign.go.
+	foreign      [][]int32
+	foreignBytes int64
+	// probeOps/directOps count cross-shard bucket resolutions by path —
+	// key-table probe versus foreign-slot load — for the runstats
+	// fan-out-mode report. Atomic for the same reason as mergeNanos.
+	probeOps  atomic.Int64
+	directOps atomic.Int64
 }
 
 // partition routes global item IDs to (shard, local) pairs.
@@ -426,6 +442,10 @@ func (r *ShardedReverse) AddSource(global int32) {
 	own := sh.shards[s].frozen
 	bands := sh.params.Bands
 	base := int(local) * bands
+	// The reverse view marks buckets by slot, which the foreign span
+	// arrays no longer carry — so sources always resolve foreign
+	// buckets by key probe. This is the cold path: sources are the
+	// changed clusters of a pass (≤ k), not the item stream.
 	for b := 0; b < bands; b++ {
 		slot := own.slots[base+b]
 		r.revs[s].markSlot(slot)

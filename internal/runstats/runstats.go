@@ -7,6 +7,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 )
@@ -81,6 +82,15 @@ type Run struct {
 	// whole run. Always zero with a single shard, where no fan-out
 	// exists.
 	CrossShardMerge time.Duration
+	// ForeignSlotBytes is the memory the index spent on materialised
+	// cross-shard fan-out arrays (foreign slots); 0 when the key-probe
+	// path served every query (single shard, disabled, or over budget).
+	ForeignSlotBytes int64
+	// CrossShardProbes and CrossShardDirect count cross-shard bucket
+	// resolutions by path: key-table probes versus direct foreign-slot
+	// loads. Both zero with a single shard.
+	CrossShardProbes int64
+	CrossShardDirect int64
 	// Iterations holds one entry per pass, in order.
 	Iterations []Iteration
 	// Converged reports whether the run stopped because no item moved
@@ -124,6 +134,18 @@ func (r *Run) TotalMoves() int {
 	return n
 }
 
+// CrossShardProbeFrac returns the share of cross-shard bucket
+// resolutions that went through the key-probe path — 1 with foreign
+// slots off, 0 when the materialised arrays served every fan-out, NaN
+// when no cross-shard resolution ran (single shard).
+func (r *Run) CrossShardProbeFrac() float64 {
+	total := r.CrossShardProbes + r.CrossShardDirect
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.CrossShardProbes) / float64(total)
+}
+
 // Speedup returns how many times faster r completed than other
 // (other.Total / r.Total).
 func (r *Run) Speedup(other *Run) float64 {
@@ -141,7 +163,7 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 	header := []string{"run", "iteration", "duration_ms", "moves",
 		"comparisons", "avg_shortlist", "cost", "active_items", "skipped_items",
 		"bootstrap_sign_ms", "bootstrap_build_ms", "bootstrap_assign_ms",
-		"shards", "crossshard_merge_ms"}
+		"shards", "crossshard_merge_ms", "foreignslot_bytes", "crossshard_probe_frac"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("runstats: writing CSV header: %w", err)
 	}
@@ -153,7 +175,8 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 		// is a run-level aggregate, so it rides on the same row.
 		row := []string{r.Name, "0", f(ms(r.Bootstrap)), "", "", "", "", "", "",
 			f(ms(r.BootstrapSign)), f(ms(r.BootstrapBuild)), f(ms(r.BootstrapAssign)),
-			strconv.Itoa(r.Shards), f(ms(r.CrossShardMerge))}
+			strconv.Itoa(r.Shards), f(ms(r.CrossShardMerge)),
+			strconv.FormatInt(r.ForeignSlotBytes, 10), f(r.CrossShardProbeFrac())}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("runstats: writing CSV: %w", err)
 		}
@@ -168,7 +191,7 @@ func WriteCSV(w io.Writer, runs []*Run) error {
 				f(it.Cost),
 				strconv.Itoa(it.ActiveItems),
 				strconv.Itoa(it.SkippedItems),
-				"", "", "", "", "",
+				"", "", "", "", "", "", "",
 			}
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("runstats: writing CSV: %w", err)

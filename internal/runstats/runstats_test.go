@@ -20,7 +20,10 @@ func sampleRun() *Run {
 			3 * time.Millisecond, 2 * time.Millisecond,
 			4 * time.Millisecond, 3 * time.Millisecond,
 		},
-		CrossShardMerge: 6 * time.Millisecond,
+		CrossShardMerge:  6 * time.Millisecond,
+		ForeignSlotBytes: 2048,
+		CrossShardProbes: 25,
+		CrossShardDirect: 75,
 		Iterations: []Iteration{
 			{Index: 1, Duration: 50 * time.Millisecond, Moves: 40, Comparisons: 900,
 				CandidatesTotal: 120, AvgShortlist: 1.2, Cost: 420},
@@ -78,19 +81,19 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "run,iteration,duration_ms") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if !strings.HasSuffix(lines[0], "bootstrap_sign_ms,bootstrap_build_ms,bootstrap_assign_ms,shards,crossshard_merge_ms") {
+	if !strings.HasSuffix(lines[0], "bootstrap_sign_ms,bootstrap_build_ms,bootstrap_assign_ms,shards,crossshard_merge_ms,foreignslot_bytes,crossshard_probe_frac") {
 		t.Fatalf("header missing bootstrap phase / shard columns: %q", lines[0])
 	}
 	if !strings.Contains(lines[1], ",0,100") {
 		t.Fatalf("bootstrap row = %q", lines[1])
 	}
-	if !strings.HasSuffix(lines[1], ",40,10,45,4,6") {
+	if !strings.HasSuffix(lines[1], ",40,10,45,4,6,2048,0.25") {
 		t.Fatalf("bootstrap row missing phase split and shard columns: %q", lines[1])
 	}
 	if !strings.Contains(lines[2], ",1,50,40,900,1.2,420") {
 		t.Fatalf("iteration row = %q", lines[2])
 	}
-	if !strings.HasSuffix(lines[2], ",,,,,") {
+	if !strings.HasSuffix(lines[2], ",,,,,,,") {
 		t.Fatalf("iteration row should leave phase and shard columns empty: %q", lines[2])
 	}
 }

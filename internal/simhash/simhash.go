@@ -16,20 +16,29 @@ package simhash
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"lshcluster/internal/core"
+	"lshcluster/internal/kernel"
 	"lshcluster/internal/kmeans"
 	"lshcluster/internal/lsh"
 )
 
 // Scheme is a seeded set of random hyperplanes producing sign-bit
-// signatures of a fixed length. It is immutable and safe for concurrent
-// use.
+// signatures of a fixed length. The hyperplanes are immutable and
+// signing is safe for concurrent use; the kernel switch
+// (SetScalarKernels) must only be flipped while no signing runs.
 type Scheme struct {
 	planes []float64 // bits·dim row-major
 	dim    int
 	bits   int
+	// scalarKernels routes the per-hyperplane dot products through the
+	// scalar reference instead of the unrolled kernel. The unrolled
+	// kernel keeps the scalar accumulation order, so the sign bits —
+	// and every signature-derived structure — are bit-identical either
+	// way; the switch is the oracle for that claim.
+	scalarKernels bool
 }
 
 // NewScheme creates a scheme of `bits` hyperplanes in `dim` dimensions,
@@ -62,19 +71,58 @@ func (s *Scheme) Sign(vec []float64, dst []uint64) []uint64 {
 	if len(dst) != s.bits {
 		panic("simhash: Sign dst length mismatch")
 	}
-	for b := 0; b < s.bits; b++ {
-		plane := s.planes[b*s.dim : (b+1)*s.dim]
-		var dot float64
-		for i, v := range vec {
-			dot += plane[i] * v
+	if s.scalarKernels {
+		for b := 0; b < s.bits; b++ {
+			if kernel.DotScalar(s.planes[b*s.dim:(b+1)*s.dim], vec) >= 0 {
+				dst[b] = 1
+			} else {
+				dst[b] = 0
+			}
 		}
-		if dot >= 0 {
+		return dst
+	}
+	for b := 0; b < s.bits; b++ {
+		if kernel.Dot(s.planes[b*s.dim:(b+1)*s.dim], vec) >= 0 {
 			dst[b] = 1
 		} else {
 			dst[b] = 0
 		}
 	}
 	return dst
+}
+
+// SetScalarKernels switches signing between the unrolled dot-product
+// kernel (false, the default) and its scalar reference (true, the
+// bit-identical oracle). Flip only while no signing is in flight.
+func (s *Scheme) SetScalarKernels(scalar bool) { s.scalarKernels = scalar }
+
+// PackedWords returns the number of uint64 words a packed signature of
+// this scheme occupies.
+func (s *Scheme) PackedWords() int { return kernel.PackedWords(s.bits) }
+
+// PackSignature packs a Sign output (one 0/1 uint64 per sign bit) into
+// 64 bits per word, growing dst as needed and returning the packed
+// signature — the compact form Hamming and EstimateAngle consume.
+// Storing signatures packed costs 1/64th of the Sign format.
+func PackSignature(sig []uint64, dst []uint64) []uint64 {
+	return kernel.PackBits(sig, dst)
+}
+
+// Hamming returns the number of differing sign bits between two packed
+// signatures of equal length, one XOR + popcount per 64 bits
+// (word-at-a-time bits.OnesCount64 via internal/kernel).
+func Hamming(a, b []uint64) int { return kernel.Hamming(a, b) }
+
+// EstimateAngle estimates the angle (radians) between the two vectors
+// behind packed signatures a and b: each hyperplane separates the
+// vectors with probability θ/π (Charikar 2002), so θ̂ = π·hamming/bits —
+// the SimHash analogue of minhash.EstimateJaccard, useful for
+// similarity diagnostics without touching the original vectors.
+func EstimateAngle(a, b []uint64, bits int) float64 {
+	if bits < 1 {
+		return 0
+	}
+	return math.Pi * float64(Hamming(a, b)) / float64(bits)
 }
 
 // Accelerator is the numeric counterpart of core.MinHashAccelerator:
@@ -116,6 +164,12 @@ func NewAccelerator(space *kmeans.Space, params lsh.Params, seed int64) (*Accele
 func (a *Accelerator) Reset(numClusters int) error {
 	return a.ResetIndex(a.params, uint64(a.seed), a.space.NumItems(), numClusters)
 }
+
+// SetScalarKernels forwards the kernel-oracle switch to the signing
+// scheme (core.KernelConfigurable): true signs with the scalar
+// reference dot product, false (the default) with the unrolled kernel —
+// signatures are bit-identical either way.
+func (a *Accelerator) SetScalarKernels(scalar bool) { a.scheme.SetScalarKernels(scalar) }
 
 // SignAll computes every point's band keys into a flat arena, sharding
 // the signing across workers goroutines (core.BulkIndexer). The scheme

@@ -60,6 +60,12 @@ type Config struct {
 	// shortlists — and therefore assignments — are bit-identical to
 	// the single-shard default (values < 2).
 	Shards int
+	// ScalarKernels routes item-to-mode distance evaluations through
+	// the scalar reference kernels instead of the unrolled ones
+	// (internal/kernel). Assignments are bit-identical either way; the
+	// switch is the correctness oracle for the kernels, mirroring the
+	// batch driver's core.Options.ScalarKernels.
+	ScalarKernels bool
 }
 
 // Stats counts the stream-side behaviour of the index.
@@ -95,6 +101,16 @@ type Clusterer struct {
 	stamps  []uint32
 	epoch   uint32
 	short   []int32
+	scalar  bool // Config.ScalarKernels
+}
+
+// dist evaluates one item-to-mode distance through the configured
+// kernel (Config.ScalarKernels selects the scalar oracle).
+func (c *Clusterer) dist(row, mode []dataset.Value, present []bool, bound int) int {
+	if c.scalar {
+		return dataset.MismatchesMaskedBoundedScalar(row, mode, present, bound)
+	}
+	return dataset.MismatchesMaskedBounded(row, mode, present, bound)
 }
 
 // New creates a streaming clusterer.
@@ -123,6 +139,7 @@ func New(cfg Config) (*Clusterer, error) {
 		freq:   kmodes.NewFreqTable(k, cfg.NumAttrs),
 		sigBuf: make([]uint64, cfg.Params.SignatureLen()),
 		stamps: make([]uint32, k),
+		scalar: cfg.ScalarKernels,
 	}
 	if cfg.Memoize {
 		c.memo = ix.Scheme().NewMemo(0)
@@ -226,7 +243,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 		c.stats.FullScans++
 		c.stats.CandidatesTotal += int64(c.k)
 		for cl := 0; cl < c.k; cl++ {
-			d := dataset.MismatchesMaskedBounded(row, c.freq.Mode(cl), present, bestD)
+			d := c.dist(row, c.freq.Mode(cl), present, bestD)
 			c.stats.Comparisons++
 			if d < bestD {
 				best, bestD = cl, d
@@ -235,7 +252,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 	} else {
 		c.stats.CandidatesTotal += int64(len(c.short))
 		for _, cl := range c.short {
-			d := dataset.MismatchesMaskedBounded(row, c.freq.Mode(int(cl)), present, bestD)
+			d := c.dist(row, c.freq.Mode(int(cl)), present, bestD)
 			c.stats.Comparisons++
 			if d < bestD {
 				best, bestD = int(cl), d

@@ -100,6 +100,22 @@ type Config struct {
 	// every shard count. Values < 2 keep the unsharded index (the
 	// oracle). Ignored for exact runs.
 	Shards int
+	// ForeignSlotBudget caps the memory (bytes) a sharded LSH index may
+	// spend on materialised cross-shard fan-out arrays, which replace
+	// per-query key-table probes of foreign shards with direct indexed
+	// loads. 0 selects the default budget (64 MiB), negative means
+	// unlimited; over budget the index transparently keeps probing.
+	// Results are bit-identical either way. Ignored with Shards < 2.
+	ForeignSlotBudget int64
+	// DisableForeignSlots pins the cross-shard fan-out to the key-probe
+	// path regardless of budget (the correctness oracle and A/B
+	// baseline for the materialised arrays).
+	DisableForeignSlots bool
+	// ScalarKernels routes the hot-loop distance and signing kernels
+	// through their scalar references instead of the unrolled versions
+	// (results are bit-identical either way); this switch is the
+	// correctness oracle and A/B baseline for the kernels.
+	ScalarKernels bool
 	// EarlyAbandon stops distance evaluations that provably cannot beat
 	// the best candidate so far.
 	EarlyAbandon bool
@@ -144,6 +160,9 @@ func (c Config) coreOptions() core.Options {
 		EarlyAbandon:             c.EarlyAbandon,
 		Workers:                  c.Workers,
 		Shards:                   c.Shards,
+		ForeignSlotBudget:        c.ForeignSlotBudget,
+		DisableForeignSlots:      c.DisableForeignSlots,
+		ScalarKernels:            c.ScalarKernels,
 		OnIteration:              c.OnIteration,
 		Context:                  c.Context,
 		DisableActiveFilter:      c.DisableActiveFilter,
