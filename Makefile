@@ -1,0 +1,45 @@
+# Repo gates. `make lint` runs exactly what CI's lint job runs and
+# writes the same *-report.txt files CI uploads as artifacts.
+# staticcheck and govulncheck are skipped gracefully when the binaries
+# are not installed (CI installs them, so there they always run and
+# block); lshvet and allocheck build from this repo and always run.
+
+SHELL := /bin/bash
+GO ?= go
+
+.PHONY: build test lint lshvet allocheck staticcheck govulncheck fuzz-smoke clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint: lshvet allocheck staticcheck govulncheck
+
+lshvet:
+	set -o pipefail; $(GO) run ./cmd/lshvet ./... | tee lshvet-report.txt
+
+allocheck:
+	set -o pipefail; $(GO) run ./scripts/allocheck | tee allocheck-report.txt
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		set -o pipefail; staticcheck ./... | tee staticcheck-report.txt; \
+	else \
+		echo "staticcheck not installed; skipped (CI installs and enforces it)" | tee staticcheck-report.txt; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		set -o pipefail; govulncheck ./... | tee govulncheck-report.txt; \
+	else \
+		echo "govulncheck not installed; skipped (CI installs and enforces it)" | tee govulncheck-report.txt; \
+	fi
+
+fuzz-smoke:
+	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzBuildFrozenIdentity -fuzztime=30s
+	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzForeignSlotSpans -fuzztime=30s
+
+clean:
+	rm -f *-report.txt bench-*.txt

@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seeded := fs.Bool("seeded-bootstrap", false, "use the seeded-index bootstrap instead of a full first pass")
 	abandon := fs.Bool("early-abandon", false, "enable early-abandon distance evaluation")
 	lowestTie := fs.Bool("lowest-index-ties", false, "break distance ties to the lowest cluster index (numpy-style)")
+	noIncremental := fs.Bool("no-incremental", false, "recompute centroids and cost from scratch each pass instead of incrementally (A/B baseline; results are identical; implies -no-active-filter)")
 	noActive := fs.Bool("no-active-filter", false, "evaluate every item each pass instead of only the active set (A/B baseline; results are identical)")
 	noParallelBoot := fs.Bool("no-parallel-bootstrap", false, "run the serial per-item bootstrap instead of the parallel sign/build/assign pipeline (A/B baseline; results are identical)")
 	noImmediateBatch := fs.Bool("no-immediate-batching", false, "evaluate immediate-update passes item by item instead of in move-bounded blocks (A/B baseline; results are identical)")
@@ -112,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ForeignSlotBudget:        *foreignBudget,
 		DisableForeignSlots:      *noForeign,
 		ScalarKernels:            *scalarKernels,
+		DisableIncremental:       *noIncremental,
 		DisableActiveFilter:      *noActive,
 		DisableParallelBootstrap: *noParallelBoot,
 		DisableImmediateBatching: *noImmediateBatch,

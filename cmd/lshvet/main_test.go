@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMainFlagsKnownBadFixture locks the gate itself: on a module with
+// a seeded kernel violation the multichecker must report it and return
+// a non-zero exit code.
+func TestMainFlagsKnownBadFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Main("testdata/src/badfix", []string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "kernelcheck") ||
+		!strings.Contains(out.String(), "mismatch-count") {
+		t.Fatalf("findings missing the seeded kernel violation:\n%s", out.String())
+	}
+}
+
+// TestMainLoadFailure distinguishes "findings" from "could not analyse".
+func TestMainLoadFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main("testdata/does-not-exist", []string{"./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository itself: the
+// tree must stay lshvet-clean, the same gate CI enforces.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main("../..", []string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("lshvet is not clean over the repo (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}

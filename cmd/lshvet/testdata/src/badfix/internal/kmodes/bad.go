@@ -1,0 +1,15 @@
+// Package kmodes is lshvet's known-bad fixture: it hand-rolls a
+// mismatch count, the canonical kernelcheck violation.
+package kmodes
+
+// Mismatches counts positions where a and b differ, bypassing the
+// kernel on purpose so cmd/lshvet has a guaranteed finding.
+func Mismatches(a, b []uint16) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

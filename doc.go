@@ -179,7 +179,10 @@
 //
 // The cmd/ directory provides datagen (paper-style synthetic workloads),
 // lshcluster (clustering CLI), lshtune (banding-parameter exploration,
-// Tables I–II) and experiments (regenerates every table and figure of
-// the paper's evaluation). See DESIGN.md for the architecture and
-// EXPERIMENTS.md for reproduction results.
+// Tables I–II), experiments (regenerates every table and figure of
+// the paper's evaluation) and lshvet, the repo's own analyzer suite:
+// `go run ./cmd/lshvet ./...` mechanically enforces the oracle, kernel
+// and context-polling disciplines described above (see
+// internal/README.md for the analyzer contracts). See DESIGN.md for
+// the architecture and EXPERIMENTS.md for reproduction results.
 package lshcluster

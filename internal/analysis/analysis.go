@@ -1,0 +1,167 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// API shape, backed by go/parser and go/types with export-data imports.
+//
+// The module vendors no third-party code, so the x/tools analysis driver
+// is unavailable; this package provides the same architectural pieces —
+// an Analyzer with a Run function over a typed Pass, a diagnostic sink,
+// a multichecker driver (cmd/lshvet) and a golden-file test harness
+// (internal/analysis/analysistest) — with an API deliberately close
+// enough that porting an analyzer to x/tools is a mechanical rename.
+//
+// The analyzers themselves live in subpackages (oraclecheck,
+// kernelcheck, ctxpollcheck, statscheck); see internal/README.md for
+// what each one enforces and which //lshvet: annotations they honour.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lshvet:ignore annotations.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run executes the check. Per-package analyzers are invoked once
+	// per loaded package with Pass.Pkg set; whole-program analyzers
+	// (WholeProgram true) are invoked exactly once with Pass.Pkg nil
+	// and must navigate Pass.Prog themselves.
+	Run func(*Pass) error
+	// WholeProgram marks analyzers whose invariants span packages
+	// (e.g. oraclecheck ties core, the facade, cmd/ and tests
+	// together).
+	WholeProgram bool
+}
+
+// Pass carries one analyzer invocation's view of the code.
+type Pass struct {
+	Analyzer *Analyzer
+	// Prog is the full loaded program (always set).
+	Prog *Program
+	// Pkg is the package under analysis; nil for whole-program
+	// analyzers.
+	Pkg *Package
+	// Report records a diagnostic at pos.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+// Reportf is sugar over Pass.Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, format, args...)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run executes analyzers over prog and returns their findings sorted by
+// position. Analyzer errors (not findings) abort the run.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		report := func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Fset.Position(pos),
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		if a.WholeProgram {
+			pass := &Pass{Analyzer: a, Prog: prog, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// HasPathSuffix reports whether the import path equals suffix or ends
+// with "/"+suffix — how analyzers recognise the packages they govern,
+// so that test fixtures (whose module path differs) are matched by the
+// same rule as the real tree.
+func HasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// NamedType reports whether t (or the pointee, for pointers) is the
+// named type pkgSuffix.name, matching the package by import-path
+// suffix. Cross-package identity cannot rely on *types.Package pointer
+// equality here: a package loaded from source for analysis and the
+// same package loaded from export data as a dependency are distinct
+// objects.
+func NamedType(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return HasPathSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// StructNamed returns the struct type declared as name in pkg, or nil.
+func StructNamed(pkg *Package, name string) (*types.TypeName, *types.Struct) {
+	obj := pkg.Pkg.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return tn, st
+}
+
+// WalkFuncs calls fn for every function or method declaration with a
+// body in the package, including test files.
+func WalkFuncs(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package analysistest is the golden-file test harness for the
+// analyzers in internal/analysis: the stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a self-contained module under the analyzer's testdata
+// directory (its own go.mod, so the go tool builds it independently of
+// the real repository). Expected findings are marked in the fixture
+// source with trailing comments:
+//
+//	sum += x[i] // want `hand-rolled float accumulation`
+//
+// Each `// want` comment holds one or more backquoted or quoted regular
+// expressions; every diagnostic reported on that line must match one of
+// them, every expectation must be matched by exactly one diagnostic,
+// and diagnostics on lines without expectations fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lshcluster/internal/analysis"
+)
+
+// wantRe matches one quoted or backquoted expectation.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the fixture module rooted at dir, applies the analyzer, and
+// compares its diagnostics against the fixture's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	RunWithPatterns(t, dir, a, "./...")
+}
+
+// RunWithPatterns is Run with explicit load patterns.
+func RunWithPatterns(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	expects := collectWants(t, prog)
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the loaded fixture.
+func collectWants(t *testing.T, prog *analysis.Program) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	seen := make(map[string]bool) // file set may list a file in two package variants
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			name := prog.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					idx := strings.Index(text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+						raw := m[1]
+						if raw == "" && m[2] != "" {
+							unq, err := strconv.Unquote(`"` + m[2] + `"`)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want string: %v", pos.Filename, pos.Line, err)
+							}
+							raw = unq
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						expects = append(expects, &expectation{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  raw,
+						})
+					}
+				}
+			}
+		}
+	}
+	return expects
+}
+
+// Format renders diagnostics one per line, for failure messages and the
+// multichecker.
+func Format(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}

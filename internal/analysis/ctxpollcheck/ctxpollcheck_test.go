@@ -1,0 +1,12 @@
+package ctxpollcheck_test
+
+import (
+	"testing"
+
+	"lshcluster/internal/analysis/analysistest"
+	"lshcluster/internal/analysis/ctxpollcheck"
+)
+
+func TestCtxPollCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxfix", ctxpollcheck.Analyzer)
+}

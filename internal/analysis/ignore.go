@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// IgnorePrefix introduces an analyzer escape hatch:
+//
+//	//lshvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line, on the line directly above it, or on the
+// enclosing declaration's doc comment. The analyzer list is mandatory
+// (a bare ignore would silently widen as analyzers are added) and so
+// is the reason — an unexplained suppression is itself reported by the
+// analyzers that honour the annotation.
+const IgnorePrefix = "//lshvet:ignore"
+
+// ignoreAnnotation is one parsed //lshvet:ignore comment.
+type ignoreAnnotation struct {
+	analyzers []string
+	reason    string
+	pos       token.Pos
+}
+
+// Ignorer answers "is this position suppressed for this analyzer?" for
+// one package. Build it once per pass with NewIgnorer.
+type Ignorer struct {
+	fset *token.FileSet
+	// byLine maps file:line (of the annotation comment itself) to the
+	// parsed annotation.
+	byLine map[string][]ignoreAnnotation
+}
+
+// NewIgnorer parses every //lshvet:ignore annotation in the package.
+// Malformed annotations (no analyzer list or no reason) are reported
+// immediately through report, attributed to name — so each analyzer
+// that honours the escape hatch also polices it.
+func NewIgnorer(pkg *Package, fset *token.FileSet, name string, report func(pos token.Pos, format string, args ...any)) *Ignorer {
+	ig := &Ignorer{fset: fset, byLine: make(map[string][]ignoreAnnotation)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				// A second "//" ends the annotation (a trailing comment
+				// inside the comment, e.g. the test harness's "// want"
+				// markers); reasons therefore cannot contain "//".
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					if report != nil {
+						report(c.Pos(), "malformed %s: want %q", IgnorePrefix, IgnorePrefix+" <analyzer>[,<analyzer>...] <reason>")
+					}
+					continue
+				}
+				ann := ignoreAnnotation{
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.TrimSpace(strings.Join(fields[1:], " ")),
+					pos:       c.Pos(),
+				}
+				if ann.reason == "" {
+					if report != nil && ann.matches(name) {
+						report(c.Pos(), "%s %s has no reason; justify the suppression", IgnorePrefix, fields[0])
+					}
+					// Reasonless annotations do not suppress: the
+					// finding they tried to hide is still reported.
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := lineKey(p.Filename, p.Line)
+				ig.byLine[key] = append(ig.byLine[key], ann)
+			}
+		}
+	}
+	return ig
+}
+
+func (a ignoreAnnotation) matches(analyzer string) bool {
+	for _, name := range a.analyzers {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+func lineKey(file string, line int) string {
+	return file + "\x00" + strconv.Itoa(line)
+}
+
+// ignoredAt reports whether an annotation for analyzer sits on the
+// given file line.
+func (ig *Ignorer) ignoredAt(file string, line int, analyzer string) bool {
+	for _, ann := range ig.byLine[lineKey(file, line)] {
+		if ann.matches(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Ignored reports whether pos is suppressed for analyzer: an annotation
+// on the same line, on the line above, or on any of the extra anchor
+// positions (typically the enclosing function declaration, where the
+// annotation may sit in or directly above the doc comment).
+func (ig *Ignorer) Ignored(analyzer string, pos token.Pos, anchors ...token.Pos) bool {
+	p := ig.fset.Position(pos)
+	if ig.ignoredAt(p.Filename, p.Line, analyzer) || ig.ignoredAt(p.Filename, p.Line-1, analyzer) {
+		return true
+	}
+	for _, a := range anchors {
+		ap := ig.fset.Position(a)
+		if ig.ignoredAt(ap.Filename, ap.Line, analyzer) || ig.ignoredAt(ap.Filename, ap.Line-1, analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAnchors returns the positions at which a function-level ignore
+// annotation may sit for decl: the declaration itself and its doc
+// comment.
+func FuncAnchors(decl *ast.FuncDecl) []token.Pos {
+	anchors := []token.Pos{decl.Pos()}
+	if decl.Doc != nil {
+		anchors = append(anchors, decl.Doc.Pos())
+	}
+	return anchors
+}

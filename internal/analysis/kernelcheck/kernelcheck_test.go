@@ -1,0 +1,12 @@
+package kernelcheck_test
+
+import (
+	"testing"
+
+	"lshcluster/internal/analysis/analysistest"
+	"lshcluster/internal/analysis/kernelcheck"
+)
+
+func TestKernelCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/kernelfix", kernelcheck.Analyzer)
+}

@@ -1,0 +1,3 @@
+module kernelfix
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package kmodes is a kernelcheck fixture: its import-path suffix
+// matches a governed package, so the kernel discipline applies.
+package kmodes
+
+// SquaredDistance hand-rolls a float accumulation over indexed loads.
+func SquaredDistance(x, y []float64) float64 {
+	var sum float64
+	for i := range x { // want `hand-rolled float accumulation loop`
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Mismatches hand-rolls a categorical mismatch count.
+func Mismatches(x, y []uint32) int {
+	n := 0
+	for i := range x { // want `hand-rolled categorical mismatch-count loop`
+		if x[i] != y[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// MismatchesMasked is deliberately scalar: the mask makes the shape
+// inexpressible by the kernels; the annotation suppresses the finding.
+func MismatchesMasked(x, y []uint32, present []bool) int {
+	n := 0
+	//lshvet:ignore kernelcheck masked loop shape not expressible by the kernels
+	for i := range x {
+		if present[i] && x[i] != y[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CentroidAccumulate carries a function-level annotation.
+//
+//lshvet:ignore kernelcheck centroid accumulation, not a distance kernel
+func CentroidAccumulate(sums []float64, p []float64) {
+	for j := range p {
+		sums[j] += p[j]
+	}
+}
+
+// UnjustifiedIgnore has an annotation without a reason: the annotation
+// itself is reported and does not suppress the loop finding.
+func UnjustifiedIgnore(x, y []float64) float64 {
+	var sum float64
+	//lshvet:ignore kernelcheck // want `has no reason`
+	for i := range x { // want `hand-rolled float accumulation loop`
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// IntSum accumulates integers: not a kernel shape, not flagged.
+func IntSum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// OuterReduce only reduces already-computed scalars in its outer loop;
+// the inner loop is the kernel shape and gets the single finding.
+func OuterReduce(rows [][]float64, y []float64) float64 {
+	var total float64
+	for _, row := range rows {
+		var sum float64
+		for j := range row { // want `hand-rolled float accumulation loop`
+			d := row[j] - y[j]
+			sum += d * d
+		}
+		total += sum
+	}
+	return total
+}

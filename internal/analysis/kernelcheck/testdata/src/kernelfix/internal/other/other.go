@@ -1,0 +1,13 @@
+// Package other is outside the governed package list: identical loops
+// are not the kernel's business here.
+package other
+
+// SquaredDistance would be flagged in a governed package.
+func SquaredDistance(x, y []float64) float64 {
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return sum
+}

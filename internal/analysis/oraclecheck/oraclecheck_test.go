@@ -1,0 +1,12 @@
+package oraclecheck_test
+
+import (
+	"testing"
+
+	"lshcluster/internal/analysis/analysistest"
+	"lshcluster/internal/analysis/oraclecheck"
+)
+
+func TestOracleCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/oraclefix", oraclecheck.Analyzer)
+}

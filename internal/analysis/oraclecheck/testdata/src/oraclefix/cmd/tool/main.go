@@ -1,0 +1,27 @@
+// Command tool is the fixture CLI: it exposes flags for every oracle
+// toggle except DisableNoCLI.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"oraclefix/internal/core"
+)
+
+func main() {
+	noGood := flag.Bool("no-good", false, "disable the good path")
+	noConfig := flag.Bool("no-config", false, "disable the configless path")
+	noTest := flag.Bool("no-test", false, "disable the untested path")
+	unplumbed := flag.Bool("unplumbed", false, "disable the unplumbed path")
+	scalar := flag.Bool("scalar-kernels", false, "use scalar kernels")
+	flag.Parse()
+	opts := core.Options{
+		DisableGood:      *noGood,
+		DisableNoConfig:  *noConfig,
+		DisableNoTest:    *noTest,
+		DisableUnplumbed: *unplumbed,
+		ScalarKernels:    *scalar,
+	}
+	fmt.Println(core.Run(opts))
+}

@@ -1,0 +1,32 @@
+// Package oraclefix is the fixture's facade: Config mirrors the oracle
+// toggles and coreOptions plumbs them into core.Options.
+package oraclefix
+
+import "oraclefix/internal/core"
+
+// Config is the user-facing configuration.
+type Config struct {
+	Clusters int
+
+	DisableGood      bool
+	DisableNoCLI     bool
+	DisableNoTest    bool
+	DisableUnplumbed bool
+	ScalarKernels    bool
+	// DisableStale has no counterpart on core.Options.
+	DisableStale bool // want `Config\.DisableStale has no counterpart field on core\.Options`
+}
+
+func (c Config) coreOptions() core.Options {
+	return core.Options{
+		Clusters:        c.Clusters,
+		DisableGood:     c.DisableGood,
+		DisableNoConfig: false,
+		DisableNoCLI:    c.DisableNoCLI,
+		DisableNoTest:   c.DisableNoTest,
+		ScalarKernels:   c.ScalarKernels,
+	}
+}
+
+// Cluster runs the fixture engine.
+func Cluster(c Config) int { return core.Run(c.coreOptions()) }

@@ -1,0 +1,3 @@
+module oraclefix
+
+go 1.22

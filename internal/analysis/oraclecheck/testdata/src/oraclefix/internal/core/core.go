@@ -1,0 +1,37 @@
+// Package core is an oraclecheck fixture mimicking the engine Options.
+package core
+
+// Options mirrors the real driver options: each oracle toggle below
+// exercises one of the analyzer's reach requirements.
+type Options struct {
+	Clusters int
+
+	// DisableGood is plumbed everywhere: facade Config, CLI, tests.
+	DisableGood bool
+	// DisableNoConfig is set by the facade and CLI and tested, but the
+	// facade Config struct has no mirror field.
+	DisableNoConfig bool // want `Options\.DisableNoConfig is not mirrored on the facade Config struct`
+	// DisableNoCLI is mirrored, plumbed and tested, but no cmd/ main
+	// references it.
+	DisableNoCLI bool // want `Options\.DisableNoCLI is not referenced from any cmd/ main package`
+	// DisableNoTest is mirrored, plumbed and flagged, but no test
+	// flips it.
+	DisableNoTest bool // want `Options\.DisableNoTest is not referenced from any _test\.go file`
+	// DisableUnplumbed is mirrored on Config, but coreOptions never
+	// copies it into Options.
+	DisableUnplumbed bool // want `Options\.DisableUnplumbed is never assigned into core\.Options by the facade`
+	// ScalarKernels checks the non-Disable oracle name; fully plumbed.
+	ScalarKernels bool
+
+	// threshold is unexported: not an oracle toggle.
+	threshold float64
+}
+
+// Run consumes the options so the fixture has some behaviour.
+func Run(o Options) int {
+	if o.DisableGood || o.DisableNoConfig || o.DisableNoCLI || o.DisableNoTest || o.DisableUnplumbed || o.ScalarKernels {
+		return o.Clusters
+	}
+	_ = o.threshold
+	return 0
+}

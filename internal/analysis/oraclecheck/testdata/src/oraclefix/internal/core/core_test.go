@@ -1,0 +1,15 @@
+package core
+
+import "testing"
+
+func TestOracles(t *testing.T) {
+	var o Options
+	o.DisableGood = true
+	o.DisableNoConfig = true
+	o.DisableNoCLI = true
+	o.DisableUnplumbed = true
+	o.ScalarKernels = true
+	if Run(o) != 0 {
+		t.Log("exercised")
+	}
+}

@@ -1,0 +1,231 @@
+// Package statscheck keeps the runstats CSV layout honest. The package
+// renders its CSV header and both row shapes from a single `columns`
+// table, so header/row drift is impossible by construction — what can
+// still rot is the table's coverage of the structs themselves: a field
+// added to Run or Iteration that never reaches the table silently drops
+// a statistic from every artifact the paper plots are built from.
+//
+// statscheck therefore checks, field-for-field:
+//
+//   - every exported field of Run and Iteration is either referenced
+//     inside the `columns` table or listed in `csvExempt` with a reason;
+//   - every `csvExempt` entry names a real exported field, carries a
+//     non-empty reason, and is not redundant with a table reference;
+//   - column names are non-empty and unique.
+//
+// There is no //lshvet:ignore escape hatch here on purpose: the exempt
+// map is the escape hatch, and it lives next to the table it amends.
+package statscheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"lshcluster/internal/analysis"
+)
+
+// Name is the analyzer's name, as used in diagnostics.
+const Name = "statscheck"
+
+// Analyzer is the statscheck instance.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "runstats Run/Iteration fields, the CSV columns table and csvExempt must agree field-for-field",
+	Run:  run,
+}
+
+// GovernedPackage is the import-path suffix of the stats package.
+const GovernedPackage = "internal/runstats"
+
+// statStructs are the structs whose exported fields feed the CSV.
+var statStructs = []string{"Run", "Iteration"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPathSuffix(pass.Pkg.Path, GovernedPackage) {
+		return nil
+	}
+
+	// The exported fields the table must cover, keyed by name, with the
+	// declaration position for diagnostics.
+	type field struct {
+		strct string
+		pos   token.Pos
+	}
+	fields := map[string]field{}
+	for _, name := range statStructs {
+		_, st := analysis.StructNamed(pass.Pkg, name)
+		if st == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(),
+				"stats package declares no struct %s; statscheck cannot verify the CSV layout", name)
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			if fv.Exported() {
+				fields[fv.Name()] = field{strct: name, pos: fv.Pos()}
+			}
+		}
+	}
+
+	columnsDecl := findVar(pass.Pkg, "columns")
+	if columnsDecl == nil {
+		pass.Reportf(pass.Pkg.Files[0].Pos(),
+			"stats package declares no `columns` table; the CSV header and rows must derive from one")
+		return nil
+	}
+	exemptDecl := findVar(pass.Pkg, "csvExempt")
+
+	// Field references inside the columns table: selector expressions
+	// whose base is Run/Iteration-typed and whose Sel names a stat field.
+	referenced := map[string]bool{}
+	ast.Inspect(columnsDecl, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if _, isField := fields[sel.Sel.Name]; !isField {
+			return true
+		}
+		if t := pass.Pkg.Info.TypeOf(sel.X); t != nil && isStatType(t) {
+			referenced[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	// Column names: non-empty and unique.
+	seenNames := map[string]bool{}
+	ast.Inspect(columnsDecl, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range lit.Elts {
+			col, ok := el.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			name, pos, ok := columnName(col)
+			if !ok {
+				continue
+			}
+			switch {
+			case name == "":
+				pass.Reportf(pos, "column has an empty name")
+			case seenNames[name]:
+				pass.Reportf(pos, "duplicate column name %q", name)
+			default:
+				seenNames[name] = true
+			}
+		}
+		return false
+	})
+
+	// Exemptions: real fields, non-empty reasons, not redundant.
+	exempted := map[string]bool{}
+	if exemptDecl != nil {
+		ast.Inspect(exemptDecl, func(n ast.Node) bool {
+			kv, ok := n.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			key, ok := stringLit(kv.Key)
+			if !ok {
+				return true
+			}
+			f, isField := fields[key]
+			switch {
+			case !isField:
+				pass.Reportf(kv.Key.Pos(),
+					"csvExempt entry %q names no exported field of Run or Iteration; remove the stale entry", key)
+			case referenced[key]:
+				pass.Reportf(kv.Key.Pos(),
+					"csvExempt entry %q is redundant: %s.%s is already rendered by the columns table", key, f.strct, key)
+			default:
+				exempted[key] = true
+			}
+			if reason, ok := stringLit(kv.Value); ok && reason == "" {
+				pass.Reportf(kv.Value.Pos(), "csvExempt entry %q has an empty reason", key)
+			}
+			return true
+		})
+	}
+
+	// Coverage: every exported stat field rendered or exempted.
+	for name, f := range fields {
+		if !referenced[name] && !exempted[name] {
+			pass.Reportf(f.pos,
+				"%s.%s reaches neither the CSV columns table nor csvExempt; render it or exempt it with a reason", f.strct, name)
+		}
+	}
+	return nil
+}
+
+// isStatType reports whether t is (a pointer to) one of the stat structs
+// in a runstats package.
+func isStatType(t types.Type) bool {
+	for _, name := range statStructs {
+		if analysis.NamedType(t, GovernedPackage, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// findVar returns the package-level ValueSpec declaring name, or nil.
+func findVar(pkg *analysis.Package, name string) *ast.ValueSpec {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if id.Name == name {
+						return vs
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// columnName extracts the header-name string of one column literal,
+// whether positional ({"run", ...}) or keyed ({name: "run", ...}).
+func columnName(col *ast.CompositeLit) (string, token.Pos, bool) {
+	for i, el := range col.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "name" {
+				if s, ok := stringLit(kv.Value); ok {
+					return s, kv.Value.Pos(), true
+				}
+			}
+			continue
+		}
+		if i == 0 {
+			if s, ok := stringLit(el); ok {
+				return s, el.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,12 @@
+package statscheck_test
+
+import (
+	"testing"
+
+	"lshcluster/internal/analysis/analysistest"
+	"lshcluster/internal/analysis/statscheck"
+)
+
+func TestStatsCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/statsfix", statscheck.Analyzer)
+}

@@ -1,0 +1,3 @@
+module statsfix
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package runstats is a statscheck fixture: a miniature of the real
+// stats package with one violation of each checked rule seeded in.
+package runstats
+
+import "strconv"
+
+// Iteration mimics the per-pass record.
+type Iteration struct {
+	Index  int
+	Moves  int
+	Orphan int // want `Iteration\.Orphan reaches neither the CSV columns table nor csvExempt`
+}
+
+// Run mimics the per-run record.
+type Run struct {
+	Name   string
+	Shards int
+	Hidden int64
+	Silent int64
+	Direct int64
+}
+
+type column struct {
+	name string
+	boot func(r *Run) string
+	iter func(r *Run, it Iteration) string
+}
+
+func none(*Run, Iteration) string { return "" }
+
+func bootNone(*Run) string { return "" }
+
+var columns = []column{
+	{"run",
+		func(r *Run) string { return r.Name },
+		func(r *Run, _ Iteration) string { return r.Name }},
+	{"iteration", bootNone,
+		func(_ *Run, it Iteration) string { return strconv.Itoa(it.Index) }},
+	{"moves", bootNone,
+		func(_ *Run, it Iteration) string { return strconv.Itoa(it.Moves) }},
+	{"moves", bootNone, // want `duplicate column name "moves"`
+		func(_ *Run, it Iteration) string { return strconv.Itoa(it.Moves) }},
+	{"", // want `column has an empty name`
+		func(r *Run) string { return strconv.Itoa(r.Shards) }, none},
+	{"direct",
+		func(r *Run) string { return strconv.FormatInt(r.Direct, 10) }, none},
+}
+
+var csvExempt = map[string]string{
+	"Hidden": "kept out of the long format on purpose",
+	"Silent": "", // want `csvExempt entry "Silent" has an empty reason`
+	"Direct": "already gone", // want `csvExempt entry "Direct" is redundant`
+	"Gone":   "this field was deleted", // want `csvExempt entry "Gone" names no exported field`
+}

@@ -588,6 +588,7 @@ func (d *driver) bootstrap() error {
 		}
 		start := time.Now()
 		isSeed := make([]bool, d.n)
+		//lshvet:ignore ctxpollcheck k seed inserts only, bounded by the cluster count, not by n
 		for c, item := range seeds {
 			if item < 0 || int(item) >= d.n {
 				return fmt.Errorf("core: seed item %d out of range", item)

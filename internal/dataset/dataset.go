@@ -235,6 +235,7 @@ func MismatchesMaskedBoundedScalar(x, y []Value, present []bool, bound int) int 
 	return mismatchesMasked(x, y, present, bound)
 }
 
+//lshvet:ignore kernelcheck masked variant with early-exit bound; no kernel expresses the three-slice mask shape
 func mismatchesMasked(x, y []Value, present []bool, bound int) int {
 	if len(present) != len(x) {
 		panic("dataset: MismatchesMaskedBounded mask arity mismatch")

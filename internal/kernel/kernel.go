@@ -33,6 +33,8 @@ import "math/bits"
 // becomes two or three ALU ops instead of a data-dependent branch, so
 // throughput no longer depends on how predictable the mismatch pattern
 // is.
+//
+//lshvet:noescape
 func Mismatches[E ~uint32](x, y []E) int {
 	n := len(x)
 	d := 0
@@ -58,6 +60,8 @@ func ne[E ~uint32](a, b E) int {
 }
 
 // MismatchesScalar is the scalar reference for Mismatches.
+//
+//lshvet:noescape
 func MismatchesScalar[E ~uint32](x, y []E) int {
 	d := 0
 	for i := range x {
@@ -76,6 +80,8 @@ func MismatchesScalar[E ~uint32](x, y []E) int {
 // unrolled kernel returns when a whole 8-wide block pushes the count
 // past the bound mid-block. (The d ≥ 1 guard covers bound ≤ 0, where
 // the reference still scans until the first mismatch.)
+//
+//lshvet:noescape
 func MismatchesBounded[E ~uint32](x, y []E, bound int) int {
 	n := len(x)
 	d := 0
@@ -104,6 +110,8 @@ func MismatchesBounded[E ~uint32](x, y []E, bound int) int {
 }
 
 // MismatchesBoundedScalar is the scalar reference for MismatchesBounded.
+//
+//lshvet:noescape
 func MismatchesBoundedScalar[E ~uint32](x, y []E, bound int) int {
 	d := 0
 	for i := range x {
@@ -121,6 +129,8 @@ func MismatchesBoundedScalar[E ~uint32](x, y []E, bound int) int {
 // y. Both slices must have the same length. The loop is 4-way unrolled
 // with a single accumulator updated in element order, so the result is
 // bit-identical to SquaredDistanceScalar's.
+//
+//lshvet:noescape
 func SquaredDistance(x, y []float64) float64 {
 	n := len(x)
 	var sum float64
@@ -145,6 +155,8 @@ func SquaredDistance(x, y []float64) float64 {
 }
 
 // SquaredDistanceScalar is the scalar reference for SquaredDistance.
+//
+//lshvet:noescape
 func SquaredDistanceScalar(x, y []float64) float64 {
 	var sum float64
 	for i := range x {
@@ -162,6 +174,8 @@ func SquaredDistanceScalar(x, y []float64) float64 {
 // property bounded-distance callers may rely on (the driver discards
 // any result ≥ bound unseen). When no early exit happens the result is
 // the full sum, bit-identical to the reference.
+//
+//lshvet:noescape
 func SquaredDistanceBounded(x, y []float64, bound float64) float64 {
 	n := len(x)
 	var sum float64
@@ -193,6 +207,8 @@ func SquaredDistanceBounded(x, y []float64, bound float64) float64 {
 
 // SquaredDistanceBoundedScalar is the scalar reference for
 // SquaredDistanceBounded.
+//
+//lshvet:noescape
 func SquaredDistanceBoundedScalar(x, y []float64, bound float64) float64 {
 	var sum float64
 	for i := range x {
@@ -210,6 +226,8 @@ func SquaredDistanceBoundedScalar(x, y []float64, bound float64) float64 {
 // SimHash signing reduces to this (one dot per hyperplane), so the
 // sign bits — and every signature-derived structure — are unchanged by
 // the unroll.
+//
+//lshvet:noescape
 func Dot(x, y []float64) float64 {
 	n := len(x)
 	var sum float64
@@ -229,6 +247,8 @@ func Dot(x, y []float64) float64 {
 }
 
 // DotScalar is the scalar reference for Dot.
+//
+//lshvet:noescape
 func DotScalar(x, y []float64) float64 {
 	var sum float64
 	for i := range x {
@@ -268,6 +288,8 @@ func PackedWords(nbits int) int { return (nbits + 63) / 64 }
 
 // Hamming returns the number of differing bits between two packed
 // signatures (equal length), one XOR + popcount per 64 bits.
+//
+//lshvet:noescape
 func Hamming(a, b []uint64) int {
 	n := len(a)
 	d := 0
@@ -281,6 +303,8 @@ func Hamming(a, b []uint64) int {
 // one-bit-per-word representation: it counts positions where the 0/1
 // words differ, which equals Hamming over the packed forms of the same
 // signatures.
+//
+//lshvet:noescape
 func HammingScalar(a, b []uint64) int {
 	d := 0
 	for i := range a {

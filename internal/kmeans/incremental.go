@@ -111,6 +111,7 @@ func (s *Space) FinishPass(assign []int32) {
 		if inc.dirty[c] {
 			p := s.Point(i)
 			dst := s.sums[int(c)*s.dim : (int(c)+1)*s.dim]
+			//lshvet:ignore kernelcheck centroid sum accumulation, not a distance reduction; order must match the batch path bit-for-bit
 			for j := range p {
 				dst[j] += p[j]
 			}

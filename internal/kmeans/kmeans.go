@@ -192,6 +192,7 @@ func (s *Space) RecomputeCentroids(assign []int32) {
 	for i, c := range assign {
 		p := s.Point(i)
 		dst := s.sums[int(c)*s.dim : (int(c)+1)*s.dim]
+		//lshvet:ignore kernelcheck centroid sum accumulation, not a distance reduction; this batch loop is itself the incremental engine's oracle
 		for j := range p {
 			dst[j] += p[j]
 		}

@@ -94,12 +94,16 @@ func (sh *Sharded) MaterializeForeignSlots(budget int64) int64 {
 
 // ForeignSlotBytes returns the memory the materialised fan-out arrays
 // occupy, 0 when the probe path is in effect.
+//
+//lshvet:noescape
 func (sh *Sharded) ForeignSlotBytes() int64 { return sh.foreignBytes }
 
 // FanOutOps returns how many cross-shard bucket resolutions ran through
 // each path: key-table probes versus direct foreign-slot loads. Per-item
 // query paths flush their counts in small batches (see
 // Query.addMergeNanos), so a handful of recent samples may be pending.
+//
+//lshvet:noescape
 func (sh *Sharded) FanOutOps() (probes, direct int64) {
 	return sh.probeOps.Load(), sh.directOps.Load()
 }

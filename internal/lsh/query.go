@@ -90,6 +90,8 @@ const mergeFlushEvery = 64
 // Candidates invokes fn for every item sharing at least one band
 // bucket with the previously inserted global item, with Index.
 // Candidates' duplication semantics and enumeration order.
+//
+//lshvet:noescape
 func (q *Query) Candidates(item int32, fn func(other int32)) {
 	sh := q.sh
 	if sh.single != nil {
@@ -135,6 +137,8 @@ func (q *Query) Candidates(item int32, fn func(other int32)) {
 // foreign-slot arrays when materialised and by key probe otherwise.
 // Ascending-shard concatenation is the ascending-ID merge, exactly as
 // in fanOutBand.
+//
+//lshvet:noescape
 func (q *Query) fanOutFrozen(s int, slot int32, b int, fn func(other int32)) {
 	sh := q.sh
 	if sh.foreign != nil {
@@ -175,6 +179,8 @@ func (q *Query) fanOutFrozen(s int, slot int32, b int, fn func(other int32)) {
 // fanOutBand emits one band's colliding items across all shards in
 // ascending global-ID order: concatenation for range shards, an S-way
 // merge for stride shards.
+//
+//lshvet:noescape
 func (q *Query) fanOutBand(b int, key uint64, fn func(other int32)) {
 	sh := q.sh
 	if !sh.part.stride {
@@ -198,6 +204,8 @@ func (q *Query) fanOutBand(b int, key uint64, fn func(other int32)) {
 // is strictly ascending (items insert in ascending global order within
 // a shard) and shards hold disjoint IDs, so a repeated min-head scan —
 // S is small — reproduces the unsharded bucket exactly.
+//
+//lshvet:noescape
 func (q *Query) mergeEmit(fn func(other int32)) {
 	for len(q.heads) > 0 {
 		minAt := 0

@@ -98,6 +98,45 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVGolden pins the exact bytes of the long format: the
+// column table refactor (and any future edit to it) must not move,
+// rename or reformat a column without this test noticing.
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Run{sampleRun()}); err != nil {
+		t.Fatal(err)
+	}
+	want := "run,iteration,duration_ms,moves,comparisons,avg_shortlist,cost,active_items,skipped_items,bootstrap_sign_ms,bootstrap_build_ms,bootstrap_assign_ms,shards,crossshard_merge_ms,foreignslot_bytes,crossshard_probe_frac\n" +
+		"MH-K-Modes 20b 5r,0,100,,,,,,,40,10,45,4,6,2048,0.25\n" +
+		"MH-K-Modes 20b 5r,1,50,40,900,1.2,420,0,0,,,,,,,\n" +
+		"MH-K-Modes 20b 5r,2,30,0,800,1.1,400,0,0,,,,,,,\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("CSV bytes changed:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestHeaderMatchesColumns guards the derived accessors against drift
+// from the table itself.
+func TestHeaderMatchesColumns(t *testing.T) {
+	h := Header()
+	if len(h) != len(columns) {
+		t.Fatalf("Header has %d names for %d columns", len(h), len(columns))
+	}
+	seen := map[string]bool{}
+	for i, c := range columns {
+		if h[i] != c.name {
+			t.Fatalf("Header[%d] = %q, column %d is %q", i, h[i], i, c.name)
+		}
+		if c.name == "" || seen[c.name] {
+			t.Fatalf("column %d name %q empty or duplicated", i, c.name)
+		}
+		seen[c.name] = true
+		if c.boot == nil || c.iter == nil {
+			t.Fatalf("column %q missing a row renderer", c.name)
+		}
+	}
+}
+
 func TestWriteSummaryMarkdown(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteSummaryMarkdown(&buf, []*Run{sampleRun()}); err != nil {

@@ -242,6 +242,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 	if len(c.short) == 0 {
 		c.stats.FullScans++
 		c.stats.CandidatesTotal += int64(c.k)
+		//lshvet:ignore ctxpollcheck Add handles one item; the fallback scan is bounded by k clusters
 		for cl := 0; cl < c.k; cl++ {
 			d := c.dist(row, c.freq.Mode(cl), present, bestD)
 			c.stats.Comparisons++
@@ -251,6 +252,7 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 		}
 	} else {
 		c.stats.CandidatesTotal += int64(len(c.short))
+		//lshvet:ignore ctxpollcheck Add handles one item; this loop is bounded by its shortlist
 		for _, cl := range c.short {
 			d := c.dist(row, c.freq.Mode(int(cl)), present, bestD)
 			c.stats.Comparisons++

@@ -129,6 +129,12 @@ type Config struct {
 	// LowestIndexTies breaks distance ties towards the lowest cluster
 	// index (numpy-argmin style) instead of keeping the current cluster.
 	LowestIndexTies bool
+	// DisableIncremental forces full centroid/cost recomputation each
+	// pass even when the space supports incremental updates. The batch
+	// path is the correctness oracle for the incremental engine
+	// (results are bit-identical either way); it implies
+	// DisableActiveFilter, which needs the engine's change reports.
+	DisableIncremental bool
 	// DisableActiveFilter forces every post-bootstrap assignment pass
 	// to evaluate all n items. By default accelerated runs skip items
 	// whose cluster neighbourhood provably did not change since the
@@ -165,6 +171,7 @@ func (c Config) coreOptions() core.Options {
 		ScalarKernels:            c.ScalarKernels,
 		OnIteration:              c.OnIteration,
 		Context:                  c.Context,
+		DisableIncremental:       c.DisableIncremental,
 		DisableActiveFilter:      c.DisableActiveFilter,
 		DisableParallelBootstrap: c.DisableParallelBootstrap,
 		DisableImmediateBatching: c.DisableImmediateBatching,

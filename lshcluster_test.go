@@ -153,6 +153,28 @@ func TestClusterShardEquivalence(t *testing.T) {
 	}
 }
 
+// TestClusterDisableIncrementalEquivalence checks the facade-level
+// incremental-engine A/B: forcing full recomputation each pass (the
+// batch oracle) must produce the identical clustering.
+func TestClusterDisableIncrementalEquivalence(t *testing.T) {
+	ds := syntheticDataset(t)
+	cfg := Config{K: 15, Seed: 2, LSH: &Params{Bands: 10, Rows: 2}, MaxIterations: 6}
+	fast, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableIncremental = true
+	oracle, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oracle.Assign {
+		if oracle.Assign[i] != fast.Assign[i] {
+			t.Fatalf("assign[%d]: incremental %d, batch oracle %d", i, fast.Assign[i], oracle.Assign[i])
+		}
+	}
+}
+
 func TestClusterErrors(t *testing.T) {
 	ds := syntheticDataset(t)
 	if _, err := Cluster(ds, Config{K: 0}); err == nil {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGateFailsOnEscapingFixture locks the gate's teeth: an annotated
+// function whose local moves to the heap must fail the run, while the
+// clean and unannotated functions stay out of the report.
+func TestGateFailsOnEscapingFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Main("testdata/src/escfix", []string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "LeakyBest") || !strings.Contains(s, "moved to heap") {
+		t.Fatalf("report missing the seeded escape:\n%s", s)
+	}
+	if strings.Contains(s, "CleanSum") || strings.Contains(s, "UnannotatedLeak") {
+		t.Fatalf("report flags a clean or unannotated function:\n%s", s)
+	}
+}
+
+// TestGateCleanOnRepo runs the gate over the repository: every
+// //lshvet:noescape hot path must stay allocation-free, the same gate
+// CI enforces.
+func TestGateCleanOnRepo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main("../..", []string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("allocheck not clean over the repo (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestGateErrorOnMissingDir distinguishes gate failure from findings.
+func TestGateErrorOnMissingDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main("testdata/does-not-exist", []string{"./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,36 @@
+// Package hot is allocheck's failing fixture: one annotated function
+// that genuinely escapes and one that stays on the stack.
+package hot
+
+// LeakyBest claims to be allocation-free but returns a pointer to a
+// local, so the compiler moves best to the heap — the violation the
+// gate must catch.
+//
+//lshvet:noescape
+func LeakyBest(xs []float64) *float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return &best
+}
+
+// CleanSum is a true zero-allocation reduction.
+//
+//lshvet:noescape
+func CleanSum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// UnannotatedLeak escapes too, but carries no annotation, so the gate
+// must stay silent about it.
+func UnannotatedLeak() *int {
+	n := 7
+	return &n
+}
