@@ -7,7 +7,7 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: build test lint lshvet allocheck staticcheck govulncheck fuzz-smoke clean
+.PHONY: build test lint lshvet allocheck staticcheck govulncheck fuzz-smoke chaos clean
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,25 @@ govulncheck:
 		echo "govulncheck not installed; skipped (CI installs and enforces it)" | tee govulncheck-report.txt; \
 	fi
 
+# Fault-injection gate: the resilience/chaos test suite under the race
+# detector, then a degraded-mode soak — 100k items at S=4 with 5%
+# transient backend errors and one permanently dead shard — which must
+# complete and report its degradation accounting in
+# chaos-soak-stats.csv (shard_retries … skipped_shards columns; CI
+# uploads it as an artifact).
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Backend|Chaos|Serve|Stream|Resilien|Degraded' \
+		./internal/lsh/ ./internal/lsh/serve/ ./internal/core/ ./internal/stream/ ./cmd/lshcluster/ .
+	$(GO) run ./cmd/datagen -items 100000 -clusters 2000 -attrs 60 -domain 20000 -seed 1 -o chaos-soak-in.csv
+	$(GO) run ./cmd/lshcluster -in chaos-soak-in.csv -k 2000 -bands 20 -rows 5 -shards 4 \
+		-chaos-spec "seed=1;err=0.05;shard2.dead" -maxiter 10 -stats chaos-soak-stats.csv
+	rm -f chaos-soak-in.csv
+	@grep -q ',skipped_shards' chaos-soak-stats.csv || { echo "chaos: stats CSV missing resilience columns"; exit 1; }
+
 fuzz-smoke:
 	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzBuildFrozenIdentity -fuzztime=30s
 	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzForeignSlotSpans -fuzztime=30s
 
 clean:
-	rm -f *-report.txt bench-*.txt
+	rm -f *-report.txt bench-*.txt chaos-soak-in.csv chaos-soak-stats.csv

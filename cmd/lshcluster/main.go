@@ -14,18 +14,21 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"lshcluster/internal/core"
 	"lshcluster/internal/dataset"
 	"lshcluster/internal/kmodes"
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/lsh/serve"
 	"lshcluster/internal/metrics"
 	"lshcluster/internal/runstats"
 )
@@ -62,6 +65,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	noActive := fs.Bool("no-active-filter", false, "evaluate every item each pass instead of only the active set (A/B baseline; results are identical)")
 	noParallelBoot := fs.Bool("no-parallel-bootstrap", false, "run the serial per-item bootstrap instead of the parallel sign/build/assign pipeline (A/B baseline; results are identical)")
 	noImmediateBatch := fs.Bool("no-immediate-batching", false, "evaluate immediate-update passes item by item instead of in move-bounded blocks (A/B baseline; results are identical)")
+	chaosSpec := fs.String("chaos-spec", "", "route cross-shard queries through fault-injecting backends with this spec (e.g. \"seed=1;err=0.05;shard2.dead\"); empty spec = direct fan-out, zero-fault spec (\"seed=1\") = resilient path, bit-identical results")
+	retryBudget := fs.Int("retry-budget", 0, "retries after a failed shard-backend call (0 = default, negative = none; needs -chaos-spec)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "straggler threshold before hedging a shard call to its mirror (0 = default, negative disables; needs -chaos-spec)")
+	noHedging := fs.Bool("no-hedging", false, "disable hedged shard-backend requests, keeping deadlines and retries (A/B baseline; results are identical)")
+	serveQueries := fs.Int("serve-queries", 0, "after clustering, serve this many shortlist queries through the concurrent multi-shard server demo (0 = off; needs LSH acceleration)")
+	serveClients := fs.Int("serve-clients", 4, "concurrent client goroutines for -serve-queries")
+	serveInflight := fs.Int("serve-inflight", 2, "per-shard in-flight call bound (backpressure) for -serve-queries")
 	initMethod := fs.String("init", "random", "initial centroid selection: random | huang | cao")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +127,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DisableActiveFilter:      *noActive,
 		DisableParallelBootstrap: *noParallelBoot,
 		DisableImmediateBatching: *noImmediateBatch,
+		ChaosSpec:                *chaosSpec,
+		RetryBudget:              *retryBudget,
+		HedgeAfter:               *hedgeAfter,
+		DisableHedging:           *noHedging,
 		OnIteration: func(it runstats.Iteration) {
 			fmt.Fprintf(stderr, "lshcluster: iter %d: %v, %d moves, avg shortlist %.2f\n",
 				it.Index, it.Duration.Round(it.Duration/100+1), it.Moves, it.AvgShortlist)
@@ -128,8 +142,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *seeded {
 		opts.Bootstrap = core.BootstrapSeeded
 	}
+	var accel *core.MinHashAccelerator
 	if !*exact {
-		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: *bands, Rows: *rows}, uint64(*seed))
+		accel, err = core.NewMinHashAccelerator(ds, lsh.Params{Bands: *bands, Rows: *rows}, uint64(*seed))
 		if err != nil {
 			return err
 		}
@@ -137,6 +152,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *workers > 1 {
 			opts.Update = core.UpdateDeferred
 		}
+	}
+	if *serveQueries > 0 && *exact {
+		return fmt.Errorf("-serve-queries needs LSH acceleration (drop -exact)")
 	}
 	res, err := core.Run(space, opts)
 	if err != nil {
@@ -167,6 +185,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			run.Shards, slowest, slowestBuild.Round(time.Millisecond),
 			run.CrossShardMerge.Round(time.Millisecond),
 			fanOut, run.CrossShardProbeFrac())
+	}
+	if run.DegradedItems > 0 || run.SkippedShards > 0 || run.ShardRetries > 0 || run.HedgedCalls > 0 {
+		fmt.Fprintf(stderr, "lshcluster: DEGRADED: %d item evaluations on partial shortlists; %d shard(s) failed past the retry budget (%d retries, %d timeouts, %d hedged calls, %d hedge wins)\n",
+			run.DegradedItems, run.SkippedShards,
+			run.ShardRetries, run.ShardTimeouts, run.HedgedCalls, run.HedgeWins)
 	}
 	if *exact {
 		run.Name = "K-Modes"
@@ -209,6 +232,101 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *serveQueries > 0 {
+		if err := serveDemo(stderr, accel, ds.NumItems(), *chaosSpec, *serveQueries, *serveClients, *serveInflight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveDemo drives the concurrent multi-shard serving layer over the
+// just-built index: client goroutines issue shortlist queries
+// round-robin over the items, each query fanning out through the
+// server's goroutine-isolated, backpressured shard backends
+// (chaos-wrapped when a spec is given, with an injection stream
+// independent of the clustering run's), and the served buckets are
+// compared against a direct fan-out over the same shards to measure
+// the recall the faults cost.
+func serveDemo(stderr io.Writer, accel *core.MinHashAccelerator, n int, spec string, queries, clients, inflight int) error {
+	ix := accel.Index()
+	bands := accel.Params().Bands
+	locals := ix.LocalBackends()
+	backends := locals
+	if spec != "" {
+		cs, err := serve.ParseChaosSpec(spec)
+		if err != nil {
+			return err
+		}
+		// Salt 2: independent of the clustering run's primaries (salt 0)
+		// and hedge mirrors (salt 1).
+		backends = cs.Wrap(locals, 2)
+	}
+	srv := serve.NewServer(backends, bands, inflight)
+	if clients < 1 {
+		clients = 1
+	}
+	// served/oracle count emitted buckets through the server versus the
+	// direct fan-out; partial counts queries that lost ≥ 1 shard.
+	type clientStats struct {
+		served, oracle int64
+		partial, done  int64
+	}
+	stats := make([]clientStats, clients)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			keys := make([]uint64, bands)
+			for q := c; q < queries; q += clients {
+				item := int32(q % n)
+				if !ix.ItemKeysOf(item, keys) {
+					continue
+				}
+				served := 0
+				skipped, err := srv.Candidates(ctx, keys, func(int, []int32) { served++ })
+				if err != nil {
+					continue
+				}
+				oracle := 0
+				for _, b := range locals {
+					_ = b.Candidates(ctx, keys, func(int, []int32) { oracle++ })
+				}
+				st.served += int64(served)
+				st.oracle += int64(oracle)
+				if skipped > 0 {
+					st.partial++
+				}
+				st.done++
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var served, oracle, partial, done int64
+	for i := range stats {
+		served += stats[i].served
+		oracle += stats[i].oracle
+		partial += stats[i].partial
+		done += stats[i].done
+	}
+	recall := 1.0
+	if oracle > 0 {
+		recall = float64(served) / float64(oracle)
+	}
+	fmt.Fprintf(stderr, "lshcluster: serve: %d queries via %d clients in %v (%.0f qps); %d partial; bucket recall %.4f\n",
+		done, clients, elapsed.Round(time.Millisecond),
+		float64(done)/elapsed.Seconds(), partial, recall)
+	for s, rep := range srv.Report() {
+		fmt.Fprintf(stderr, "lshcluster: serve: shard %d: %d calls, %d errors, %d stragglers, mean %v, max %v\n",
+			s, rep.Calls, rep.Errors, rep.Stragglers,
+			rep.Mean.Round(time.Microsecond), rep.Max.Round(time.Microsecond))
+	}
+	fmt.Fprintf(stderr, "lshcluster: serve: straggler order (worst first): %v\n", srv.Slowest())
 	return nil
 }
 

@@ -73,6 +73,22 @@ type Querier interface {
 	Candidates(item int32, assign []int32) []int32
 }
 
+// DegradedQuerier is an optional Querier capability: queriers routed
+// through the fault-tolerant shard backends (Options.ChaosSpec) report,
+// after every shortlist call, whether that shortlist was degraded by
+// shard failures. The driver consults it per item to keep a run with
+// down shards correct instead of silently lossy.
+type DegradedQuerier interface {
+	// LastDegraded describes the most recent shortlist: partial means at
+	// least one shard's candidates are missing (the shortlist
+	// under-recalls); ownerDown means the item's own shard could not be
+	// consulted at all, so the shortlist may omit even the item's
+	// current cluster — the driver then falls back to an exact scan over
+	// all k clusters for that item. Queriers without fault-tolerant
+	// routing never degrade and simply don't implement the capability.
+	LastDegraded() (partial, ownerDown bool)
+}
+
 // Accelerator is the search-space reduction component of the framework.
 type Accelerator interface {
 	// Reset prepares an empty index for a clustering over numClusters
@@ -252,6 +268,31 @@ type Options struct {
 	// correctness oracle, and this switch exists for equivalence tests
 	// and A/B benchmarks.
 	DisableImmediateBatching bool
+	// ChaosSpec, when non-empty, routes the sharded index's cross-shard
+	// fan-out through the fault-tolerant backend layer with the given
+	// serve.ParseChaosSpec fault-injection script (ResilienceConfigurer
+	// accelerators only; others ignore it). Backend calls then carry
+	// deadlines, bounded retries and — unless DisableHedging — hedged
+	// requests to a mirror replica; shards that stay down past the retry
+	// budget degrade the run to partial shortlists instead of failing it
+	// (see Run.DegradedItems). A spec injecting zero faults (e.g.
+	// "seed=1") exercises the whole resilient path bit-identically to
+	// the direct fan-out. Empty keeps the zero-overhead direct fan-out.
+	ChaosSpec string
+	// RetryBudget is the number of retries after a failed backend call
+	// (0 = lsh.DefaultRetryBudget, negative = none). Ignored without
+	// ChaosSpec.
+	RetryBudget int
+	// HedgeAfter is the straggler threshold after which a backend call
+	// is hedged to its mirror replica (0 = lsh.DefaultHedgeAfter,
+	// negative disables hedging). Ignored without ChaosSpec.
+	HedgeAfter time.Duration
+	// DisableHedging turns hedged backend requests off entirely, leaving
+	// deadlines and retries in place. Unhedged calls are the correctness
+	// oracle for the hedge race (first success wins, loser cancelled —
+	// results are bit-identical either way); this switch exists for
+	// equivalence tests and A/B benchmarks. Ignored without ChaosSpec.
+	DisableHedging bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes (progress reporting).
 	OnIteration func(runstats.Iteration)
@@ -389,6 +430,7 @@ func Run(space Space, opts Options) (*Result, error) {
 		if ps.evaluated > 0 {
 			it.AvgShortlist = float64(ps.cands) / float64(ps.evaluated)
 		}
+		res.Stats.DegradedItems += int64(ps.degraded)
 		if !opts.SkipCost {
 			if d.inc != nil {
 				it.Cost = d.inc.IncrementalCost(d.assign)
@@ -416,6 +458,11 @@ func Run(space Space, opts Options) (*Result, error) {
 		res.Stats.ForeignSlotBytes = ss.ForeignSlotBytes
 		res.Stats.CrossShardProbes = ss.ProbeOps
 		res.Stats.CrossShardDirect = ss.DirectOps
+		res.Stats.ShardRetries = ss.Retries
+		res.Stats.ShardTimeouts = ss.Timeouts
+		res.Stats.HedgedCalls = ss.HedgedCalls
+		res.Stats.HedgeWins = ss.HedgeWins
+		res.Stats.SkippedShards = ss.SkippedShards
 	}
 	return res, nil
 }
@@ -459,15 +506,40 @@ type driver struct {
 type passStats struct {
 	moves     int
 	evaluated int
-	comps     int64
-	cands     int64
+	// degraded counts the evaluated items whose shortlist was degraded
+	// by shard failures (partial recall or owner-shard fallback); zero
+	// without Options.ChaosSpec.
+	degraded int
+	comps    int64
+	cands    int64
 }
 
 func (p *passStats) add(o passStats) {
 	p.moves += o.moves
 	p.evaluated += o.evaluated
+	p.degraded += o.degraded
 	p.comps += o.comps
 	p.cands += o.cands
+}
+
+// bestWithDegraded resolves one item's assignment with degraded-mode
+// handling: when the querier reports the shortlist's owner shard down,
+// the shortlist may omit even the item's current cluster, so the item
+// falls back to an exact scan over all k clusters (correct, just
+// unaccelerated); a merely partial shortlist is still evaluated — the
+// item's own cluster is present, so the move decision stays sound,
+// only recall suffers. Both cases count into ps.degraded. With a nil
+// dq (no fault-tolerant routing) this is exactly bestOf.
+func (d *driver) bestWithDegraded(dq DegradedQuerier, item, cur int, shortlist []int32, ps *passStats) int32 {
+	if dq != nil {
+		if partial, ownerDown := dq.LastDegraded(); ownerDown {
+			ps.degraded++
+			return int32(d.bestExact(item, cur, &ps.comps))
+		} else if partial {
+			ps.degraded++
+		}
+	}
+	return d.bestOf(item, cur, shortlist, &ps.comps)
 }
 
 // bootstrap produces the initial assignment and, for accelerated runs,
@@ -510,6 +582,15 @@ func (d *driver) bootstrap() error {
 	}
 	if fc, ok := accel.(ForeignSlotConfigurer); ok {
 		fc.SetForeignSlots(d.opts.ForeignSlotBudget, d.opts.DisableForeignSlots)
+	}
+	if rc, ok := accel.(ResilienceConfigurer); ok {
+		rc.SetResilience(ResilienceConfig{
+			ChaosSpec:      d.opts.ChaosSpec,
+			RetryBudget:    d.opts.RetryBudget,
+			HedgeAfter:     d.opts.HedgeAfter,
+			DisableHedging: d.opts.DisableHedging,
+			Context:        d.opts.Context,
+		})
 	}
 	if err := accel.Reset(d.k); err != nil {
 		return fmt.Errorf("core: resetting accelerator: %w", err)
@@ -845,6 +926,7 @@ func (d *driver) pass() passStats {
 // bit-identical oracle.
 func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
 	filtered := d.filtered()
+	dq, _ := bq.(DegradedQuerier)
 	var buf [queryBlockLen]int32
 	poll := 0
 	for next := 0; next < d.n; {
@@ -877,7 +959,7 @@ func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
 			it := int(blk[pos])
 			cur := d.assign[it]
 			ps.cands += int64(len(shortlist))
-			best := d.bestOf(it, int(cur), shortlist, &ps.comps)
+			best := d.bestWithDegraded(dq, it, int(cur), shortlist, &ps)
 			ps.evaluated++
 			if best != cur {
 				d.assign[it] = best
@@ -906,6 +988,7 @@ func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
 func (d *driver) serialPass(view []int32) (ps passStats) {
 	q := d.querier
 	filtered := d.filtered()
+	dq, _ := q.(DegradedQuerier)
 	poll := 0
 	for i := 0; i < d.n; i++ {
 		if filtered && !d.act.cur[i] {
@@ -920,7 +1003,7 @@ func (d *driver) serialPass(view []int32) (ps passStats) {
 		cur := d.assign[i]
 		shortlist := q.Candidates(int32(i), view)
 		ps.cands += int64(len(shortlist))
-		best := d.bestOf(i, int(cur), shortlist, &ps.comps)
+		best := d.bestWithDegraded(dq, i, int(cur), shortlist, &ps)
 		ps.evaluated++
 		if best != cur {
 			// The write below *is* the paper's "update the cluster
@@ -981,11 +1064,12 @@ func (d *driver) serialBlockPass(bq BlockQuerier, view []int32) (ps passStats) {
 // replay after the join; the serial caller passes nil and applies
 // immediately.
 func (d *driver) evalBlock(bq BlockQuerier, blk []int32, view []int32, ps *passStats, log *[]moveRec) {
+	dq, _ := bq.(DegradedQuerier)
 	bq.CandidatesBlock(blk, view, func(pos int, shortlist []int32) {
 		i := int(blk[pos])
 		cur := d.assign[i]
 		ps.cands += int64(len(shortlist))
-		best := d.bestOf(i, int(cur), shortlist, &ps.comps)
+		best := d.bestWithDegraded(dq, i, int(cur), shortlist, ps)
 		ps.evaluated++
 		if best != cur {
 			d.assign[i] = best
@@ -1109,6 +1193,7 @@ func (d *driver) workerBlocks(bq BlockQuerier, lo, hi int, filtered bool, view [
 // workerItems is the per-item worker loop for queriers without block
 // support.
 func (d *driver) workerItems(q Querier, lo, hi int, filtered bool, view []int32, ps *passStats, log *[]moveRec) {
+	dq, _ := q.(DegradedQuerier)
 	poll := 0
 	for pos := lo; pos < hi; pos++ {
 		i := pos
@@ -1124,7 +1209,7 @@ func (d *driver) workerItems(q Querier, lo, hi int, filtered bool, view []int32,
 		cur := d.assign[i]
 		shortlist := q.Candidates(int32(i), view)
 		ps.cands += int64(len(shortlist))
-		best := d.bestOf(i, int(cur), shortlist, &ps.comps)
+		best := d.bestWithDegraded(dq, i, int(cur), shortlist, ps)
 		ps.evaluated++
 		if best != cur {
 			d.assign[i] = best

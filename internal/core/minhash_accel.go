@@ -165,6 +165,10 @@ type IndexQuerier struct {
 	// position.
 	marks []uint64
 	lists [][]int32
+	// degPartial/degOwnerDown mirror the lsh.Query's degradation report
+	// for the most recent shortlist (core.DegradedQuerier); always false
+	// without fault-tolerant backend routing.
+	degPartial, degOwnerDown bool
 }
 
 // NewIndexQuerier creates a querier over index for a clustering with
@@ -203,7 +207,18 @@ func (q *IndexQuerier) collect(other int32, assign []int32) {
 func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
 	q.beginDedup()
 	q.q.Candidates(item, func(other int32) { q.collect(other, assign) })
+	q.degPartial, q.degOwnerDown = q.q.LastDegraded()
 	return q.buf
+}
+
+// LastDegraded reports whether the most recent shortlist was degraded
+// by shard failures (core.DegradedQuerier): partial means at least one
+// shard's candidates are missing, ownerDown that the item's own shard
+// was unreachable. Both stay false on the direct in-memory fan-out.
+// For CandidatesBlock the report covers the position most recently
+// emitted, so it is valid inside each emit invocation.
+func (q *IndexQuerier) LastDegraded() (partial, ownerDown bool) {
+	return q.degPartial, q.degOwnerDown
 }
 
 // CandidatesOfKeys returns the deduplicated cluster shortlist of an
@@ -213,6 +228,7 @@ func (q *IndexQuerier) Candidates(item int32, assign []int32) []int32 {
 func (q *IndexQuerier) CandidatesOfKeys(keys []uint64, assign []int32) []int32 {
 	q.beginDedup()
 	q.q.CandidatesOfKeys(keys, func(other int32) { q.collect(other, assign) })
+	q.degPartial, q.degOwnerDown = q.q.LastDegraded()
 	return q.buf
 }
 
@@ -222,6 +238,7 @@ func (q *IndexQuerier) CandidatesOfKeys(keys []uint64, assign []int32) []int32 {
 func (q *IndexQuerier) CandidatesOfSignature(sig []uint64, assign []int32) []int32 {
 	q.beginDedup()
 	q.q.CandidatesOfSignature(sig, func(other int32) { q.collect(other, assign) })
+	q.degPartial, q.degOwnerDown = q.q.LastDegraded()
 	return q.buf
 }
 
@@ -264,6 +281,7 @@ func (q *IndexQuerier) CandidatesBlock(items []int32, assign []int32, emit func(
 		q.lists[pos] = list
 	})
 	for pos := 0; pos < nb; pos++ {
+		q.degPartial, q.degOwnerDown = q.q.BlockDegraded(pos)
 		emit(pos, q.lists[pos])
 		// Clear only the bits this position set, keeping the block's
 		// dedup cost proportional to shortlist sizes, not to nb·k.

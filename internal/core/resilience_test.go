@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/lsh"
+
+	"lshcluster/internal/core"
+)
+
+// chaosWorkload builds the standard 600-item K-Modes space and MinHash
+// accelerator pair the resilience tests run over.
+func chaosWorkload(t *testing.T) func() (core.Space, core.Accelerator) {
+	t.Helper()
+	ds := bootstrapWorkload(t)
+	return func() (core.Space, core.Accelerator) {
+		s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a
+	}
+}
+
+func runChaos(t *testing.T, mk func() (core.Space, core.Accelerator), opts core.Options) (*core.Result, []byte) {
+	t.Helper()
+	space, accel := mk()
+	opts.Accelerator = accel
+	res, err := core.Run(space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, kmodesFingerprint(t)(space)
+}
+
+// TestChaosZeroFaultBitIdentity is the resilient path's oracle: a
+// chaos spec injecting nothing routes every cross-shard query through
+// the backend/retry/hedging machinery, and the run must be
+// bit-identical to the direct path at every shard count — with
+// hedging armed and with the Options.DisableHedging baseline.
+func TestChaosZeroFaultBitIdentity(t *testing.T) {
+	mk := chaosWorkload(t)
+	base := core.Options{MaxIterations: 10}
+	for _, shards := range []int{1, 2, 4} {
+		o := base
+		o.Shards = shards
+		ref, refPrint := runChaos(t, mk, o)
+		variants := []struct {
+			label string
+			mut   func(*core.Options)
+		}{
+			{"chaos", func(o *core.Options) { o.ChaosSpec = "seed=3" }},
+			{"chaos/no-hedging", func(o *core.Options) {
+				o.ChaosSpec = "seed=3"
+				o.DisableHedging = true
+			}},
+			{"chaos/tuned", func(o *core.Options) {
+				o.ChaosSpec = "seed=3"
+				o.RetryBudget = 1
+				o.HedgeAfter = time.Millisecond
+			}},
+		}
+		for _, v := range variants {
+			o := base
+			o.Shards = shards
+			v.mut(&o)
+			got, gotPrint := runChaos(t, mk, o)
+			for i := range ref.Assign {
+				if ref.Assign[i] != got.Assign[i] {
+					t.Fatalf("shards=%d/%s: assign[%d] = %d, oracle %d",
+						shards, v.label, i, got.Assign[i], ref.Assign[i])
+				}
+			}
+			if string(refPrint) != string(gotPrint) {
+				t.Fatalf("shards=%d/%s: final modes differ from the direct path", shards, v.label)
+			}
+			if len(got.Stats.Iterations) != len(ref.Stats.Iterations) {
+				t.Fatalf("shards=%d/%s: %d iterations, oracle %d",
+					shards, v.label, len(got.Stats.Iterations), len(ref.Stats.Iterations))
+			}
+			for i := range ref.Stats.Iterations {
+				if ref.Stats.Iterations[i].Moves != got.Stats.Iterations[i].Moves {
+					t.Fatalf("shards=%d/%s iteration %d: %d moves, oracle %d", shards, v.label,
+						i+1, got.Stats.Iterations[i].Moves, ref.Stats.Iterations[i].Moves)
+				}
+			}
+			if got.Stats.DegradedItems != 0 || got.Stats.SkippedShards != 0 {
+				t.Fatalf("shards=%d/%s: zero-fault chaos degraded the run: %d items, %d shards",
+					shards, v.label, got.Stats.DegradedItems, got.Stats.SkippedShards)
+			}
+		}
+	}
+}
+
+// TestChaosSoakDeterministic is the degraded-mode soak: 5% transient
+// errors everywhere plus one permanently dead shard at S=4. The run
+// must complete, absorb the transient faults with retries, record the
+// dead shard as skipped with a nonzero degraded-item count — and,
+// being seeded and serial, replay bit-identically.
+func TestChaosSoakDeterministic(t *testing.T) {
+	mk := chaosWorkload(t)
+	opts := core.Options{
+		Shards:         4,
+		Workers:        1,
+		MaxIterations:  6,
+		ChaosSpec:      "seed=1;err=0.05;shard2.dead",
+		DisableHedging: true, // hedge launches are timing-dependent; keep the soak a pure replay
+	}
+	resA, printA := runChaos(t, mk, opts)
+	resB, printB := runChaos(t, mk, opts)
+
+	if resA.Stats.SkippedShards < 1 {
+		t.Fatalf("SkippedShards = %d, want ≥ 1 (shard 2 is dead)", resA.Stats.SkippedShards)
+	}
+	if resA.Stats.DegradedItems == 0 {
+		t.Fatal("DegradedItems = 0 with a dead shard")
+	}
+	if resA.Stats.ShardRetries == 0 {
+		t.Fatal("ShardRetries = 0 with 5% transient errors")
+	}
+
+	for i := range resA.Assign {
+		if resA.Assign[i] != resB.Assign[i] {
+			t.Fatalf("replay diverged: assign[%d] = %d then %d", i, resA.Assign[i], resB.Assign[i])
+		}
+	}
+	if string(printA) != string(printB) {
+		t.Fatal("replay diverged: final modes differ")
+	}
+	if resA.Stats.DegradedItems != resB.Stats.DegradedItems ||
+		resA.Stats.SkippedShards != resB.Stats.SkippedShards ||
+		resA.Stats.ShardRetries != resB.Stats.ShardRetries ||
+		resA.Stats.ShardTimeouts != resB.Stats.ShardTimeouts {
+		t.Fatalf("replay diverged: degraded/skipped/retries/timeouts %d/%d/%d/%d then %d/%d/%d/%d",
+			resA.Stats.DegradedItems, resA.Stats.SkippedShards, resA.Stats.ShardRetries, resA.Stats.ShardTimeouts,
+			resB.Stats.DegradedItems, resB.Stats.SkippedShards, resB.Stats.ShardRetries, resB.Stats.ShardTimeouts)
+	}
+}
+
+// TestChaosParallelWorkersComplete is the concurrency smoke (run under
+// -race in CI): parallel pass workers sharing one resilience layer
+// over a faulty fleet must still complete and account degradation.
+func TestChaosParallelWorkersComplete(t *testing.T) {
+	mk := chaosWorkload(t)
+	res, _ := runChaos(t, mk, core.Options{
+		Shards:        4,
+		Workers:       4,
+		Update:        core.UpdateDeferred,
+		MaxIterations: 5,
+		ChaosSpec:     "seed=2;err=0.05;shard1.dead",
+	})
+	if res.Stats.SkippedShards < 1 {
+		t.Fatalf("SkippedShards = %d, want ≥ 1", res.Stats.SkippedShards)
+	}
+	if res.Stats.DegradedItems == 0 {
+		t.Fatal("DegradedItems = 0 with a dead shard")
+	}
+}
+
+// TestChaosCancelledRunReturnsPromptly is the stalled-shard
+// cancellation regression at the driver level: every shard stalls
+// every call, the run context is cancelled mid-flight, and Run must
+// return the context error without waiting any stall out.
+func TestChaosCancelledRunReturnsPromptly(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = core.Run(s, core.Options{
+		Accelerator:   a,
+		Shards:        4,
+		MaxIterations: 50,
+		ChaosSpec:     "seed=1;stall=1:30s",
+		Context:       ctx,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run blocked for %v against stalled shards", elapsed)
+	}
+}
+
+// TestChaosSpecInvalidFailsRun pins spec validation: a bad spec fails
+// the run with a diagnostic, before any clustering work starts.
+func TestChaosSpecInvalidFailsRun(t *testing.T) {
+	ds := bootstrapWorkload(t)
+	s, err := kmodes.NewSpace(ds, kmodes.Config{K: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 8, Rows: 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Run(s, core.Options{
+		Accelerator: a, Shards: 2, MaxIterations: 3, ChaosSpec: "bogus=1",
+	})
+	if err == nil || !strings.Contains(err.Error(), "invalid chaos spec") {
+		t.Fatalf("err = %v, want invalid chaos spec", err)
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/lsh/serve"
 )
 
 // Sharding capabilities. The LSH index layer can partition its hash
@@ -78,6 +80,41 @@ type ShardStats struct {
 	// ProbeOps/DirectOps count cross-shard bucket resolutions by path:
 	// key-table probes versus direct foreign-slot loads.
 	ProbeOps, DirectOps int64
+	// Retries/Timeouts/HedgedCalls/HedgeWins/SkippedShards mirror the
+	// fault-tolerant fan-out's lsh.ResilienceStats — all zero unless a
+	// backend layer was attached (Options.ChaosSpec).
+	Retries, Timeouts      int64
+	HedgedCalls, HedgeWins int64
+	SkippedShards          int
+}
+
+// ResilienceConfig is the fault-tolerance configuration the driver
+// forwards to a ResilienceConfigurer before Reset: the run context
+// (per-call deadlines and cancellation derive from it), the retry and
+// hedging policy knobs, and the chaos spec that — when non-empty —
+// routes the cross-shard fan-out through fault-injecting backends.
+type ResilienceConfig struct {
+	// ChaosSpec is the serve.ParseChaosSpec fault script. Empty keeps
+	// the direct in-memory fan-out (no backend layer at all); a
+	// non-empty spec — even one injecting zero faults, e.g. "seed=1" —
+	// attaches chaos-wrapped backends, which is also how the
+	// bit-identity tests exercise the whole resilient path.
+	ChaosSpec string
+	// RetryBudget/HedgeAfter/DisableHedging map onto lsh.Policy.
+	RetryBudget    int
+	HedgeAfter     time.Duration
+	DisableHedging bool
+	// Context bounds every backend call (nil = context.Background()).
+	Context context.Context
+}
+
+// ResilienceConfigurer is an optional Accelerator capability:
+// accelerators whose sharded index supports the fault-tolerant backend
+// fan-out implement it. The driver forwards the resilience options
+// once per Run, before Reset; the index attaches the backends once its
+// frozen layout exists.
+type ResilienceConfigurer interface {
+	SetResilience(cfg ResilienceConfig)
 }
 
 // ShardStatsReporter is an optional Accelerator capability: report the
@@ -119,6 +156,13 @@ type ShardedIndexBase struct {
 	// once the frozen layout exists (BuildFrozen / Freeze).
 	foreignBudget int64
 	foreignOff    bool
+	// resCfg/resSpec/resErr hold the resilience configuration the
+	// driver forwarded (ResilienceConfigurer): the parsed chaos spec
+	// (nil when no spec, i.e. the direct fan-out), or the parse error
+	// surfaced at the next ResetIndex.
+	resCfg  ResilienceConfig
+	resSpec *serve.ChaosSpec
+	resErr  error
 }
 
 // SetShards configures the item-shard count for the next ResetIndex
@@ -154,6 +198,48 @@ func (b *ShardedIndexBase) materializeForeign() {
 	b.index.MaterializeForeignSlots(budget)
 }
 
+// SetResilience stores the fault-tolerance configuration for the next
+// ResetIndex (core.ResilienceConfigurer). An unparsable ChaosSpec is
+// surfaced as the next ResetIndex's error.
+func (b *ShardedIndexBase) SetResilience(cfg ResilienceConfig) {
+	b.resCfg = cfg
+	b.resSpec, b.resErr = nil, nil
+	if cfg.ChaosSpec == "" {
+		return
+	}
+	spec, err := serve.ParseChaosSpec(cfg.ChaosSpec)
+	if err != nil {
+		b.resErr = err
+		return
+	}
+	b.resSpec = spec
+}
+
+// attachResilience routes the index's cross-shard fan-out through
+// chaos-wrapped backends once the frozen layout exists. Primaries and
+// hedge mirrors are independent replicas under the same fault spec
+// (different injection streams, same fault model — a dead shard stays
+// dead on its mirror, so permanent failures remain measured recall
+// loss instead of being masked). A no-op without a chaos spec: the
+// zero-overhead direct fan-out stays in place.
+func (b *ShardedIndexBase) attachResilience() {
+	if b.resSpec == nil || b.index == nil {
+		return
+	}
+	locals := b.index.LocalBackends()
+	backends := b.resSpec.Wrap(locals, 0)
+	mirrors := b.resSpec.Wrap(locals, 1)
+	pol := lsh.Policy{
+		RetryBudget:    b.resCfg.RetryBudget,
+		HedgeAfter:     b.resCfg.HedgeAfter,
+		DisableHedging: b.resCfg.DisableHedging,
+		Seed:           b.resSpec.Seed() + 1,
+	}
+	// AttachBackends only errors on a shard-count mismatch, impossible
+	// for backends derived from the index itself.
+	_ = b.index.AttachBackends(b.resCfg.Context, backends, mirrors, pol)
+}
+
 // ShardStats reports the shard layout, per-shard build costs and
 // cross-shard fan-out mode of the current index
 // (core.ShardStatsReporter).
@@ -162,6 +248,7 @@ func (b *ShardedIndexBase) ShardStats() ShardStats {
 		return ShardStats{}
 	}
 	probes, direct := b.index.FanOutOps()
+	res := b.index.ResilienceStats()
 	return ShardStats{
 		Shards:           b.index.NumShards(),
 		BuildTimes:       b.index.BuildTimes(),
@@ -169,6 +256,11 @@ func (b *ShardedIndexBase) ShardStats() ShardStats {
 		ForeignSlotBytes: b.index.ForeignSlotBytes(),
 		ProbeOps:         probes,
 		DirectOps:        direct,
+		Retries:          res.Retries,
+		Timeouts:         res.Timeouts,
+		HedgedCalls:      res.HedgedCalls,
+		HedgeWins:        res.HedgeWins,
+		SkippedShards:    res.SkippedShards,
 	}
 }
 
@@ -185,6 +277,9 @@ func (b *ShardedIndexBase) Index() *lsh.Sharded { return b.index }
 func (b *ShardedIndexBase) ResetIndex(params lsh.Params, seed uint64, numItems, numClusters int) error {
 	if numClusters < 1 {
 		return fmt.Errorf("core: numClusters must be ≥ 1, got %d", numClusters)
+	}
+	if b.resErr != nil {
+		return fmt.Errorf("core: invalid chaos spec: %w", b.resErr)
 	}
 	shards := b.shards
 	if shards < 1 {
@@ -226,6 +321,7 @@ func (b *ShardedIndexBase) BuildFrozen(workers int) error {
 	b.presigned = nil
 	if err == nil {
 		b.materializeForeign()
+		b.attachResilience()
 	}
 	return err
 }
@@ -269,6 +365,7 @@ func (b *ShardedIndexBase) Freeze() {
 	if b.index != nil {
 		b.index.Freeze()
 		b.materializeForeign()
+		b.attachResilience()
 	}
 	b.presigned = nil
 }

@@ -51,6 +51,18 @@ type Query struct {
 	// load) under the same flush cadence.
 	pendingProbe  int64
 	pendingDirect int64
+	// Backend-routed sweep state (resilient.go): gather buffers for the
+	// per-shard fan-out, replay cursors, and the degradation outcome of
+	// the most recent sweep. Unused (and unallocated) on the direct
+	// path.
+	lastDeg     degradedState
+	blockDeg    []degradedState
+	perShard    [][]bucketHit
+	cursors     []int
+	blockKeys   []uint64
+	groupLocals []int32
+	groupPos    []int32
+	posMap      []int32
 }
 
 type mergeHead struct {
@@ -94,6 +106,10 @@ const mergeFlushEvery = 64
 //lshvet:noescape
 func (q *Query) Candidates(item int32, fn func(other int32)) {
 	sh := q.sh
+	if sh.res != nil {
+		q.backendCandidates(item, fn)
+		return
+	}
 	if sh.single != nil {
 		sh.single.Candidates(item, fn)
 		return
@@ -236,16 +252,26 @@ func (q *Query) mergeEmit(fn func(other int32)) {
 // (streaming, the stride user, never batches).
 func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32)) {
 	sh := q.sh
+	if sh.res != nil && !sh.part.stride {
+		q.backendCandidatesBatch(items, fn)
+		return
+	}
 	if sh.single != nil {
 		sh.single.CandidatesBatch(items, fn)
 		return
 	}
 	if sh.part.stride {
+		if sh.res != nil {
+			q.ensureBlockDeg(len(items))
+		}
 		for pos, item := range items {
 			q.Candidates(item, func(other int32) {
 				q.oneBuf[0] = other
 				fn(pos, q.oneBuf[:])
 			})
+			if sh.res != nil {
+				q.blockDeg[pos] = q.lastDeg
+			}
 		}
 		return
 	}
@@ -413,6 +439,10 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 // probing every shard's growing (or frozen) tables.
 func (q *Query) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
 	sh := q.sh
+	if sh.res != nil {
+		q.backendCandidatesOfKeys(keys, fn)
+		return
+	}
 	if sh.single != nil {
 		sh.single.CandidatesOfKeys(keys, fn)
 		return
@@ -434,7 +464,7 @@ func (q *Query) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
 // query and the subsequent InsertSignature.
 func (q *Query) CandidatesOfSignature(sig []uint64, fn func(other int32)) {
 	sh := q.sh
-	if sh.single != nil {
+	if sh.single != nil && sh.res == nil {
 		sh.single.CandidatesOfSignature(sig, fn)
 		return
 	}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"lshcluster/internal/lsh"
+)
+
+// Server is a concurrent multi-shard local serving layer: each query
+// fans out to every shard backend on its own goroutine (shards are
+// goroutine-isolated — a slow shard never blocks another shard's
+// work), bounded per shard by an in-flight gate (backpressure: at most
+// `inflight` concurrent calls per shard, further callers queue on the
+// gate), with per-shard latency and straggler accounting on top. It is
+// the in-process stand-in for the networked shard service the roadmap
+// targets: the fan-out, isolation, and accounting are exactly what a
+// wire transport would need, with the transport itself left to swap
+// in.
+//
+// Safe for concurrent use by many client goroutines.
+type Server struct {
+	backends []lsh.ShardBackend
+	bands    int
+	gates    []chan struct{}
+	shards   []serverShard
+}
+
+// serverShard is one shard's accounting, mutex-guarded (the per-call
+// critical sections are tiny next to a backend call).
+type serverShard struct {
+	mu         sync.Mutex
+	calls      int64
+	errors     int64
+	stragglers int64
+	totalNanos int64
+	maxNanos   int64
+}
+
+// ShardReport is one shard's serving statistics.
+type ShardReport struct {
+	// Calls and Errors count fan-out calls reaching this shard and how
+	// many failed.
+	Calls, Errors int64
+	// Stragglers counts the queries where this shard was the slowest
+	// responder — the hedging trigger a mirror would absorb.
+	Stragglers int64
+	// Max and Mean are the shard's call latencies.
+	Max, Mean time.Duration
+}
+
+// NewServer builds a server over one backend per shard. inflight
+// bounds each shard's concurrent calls (values < 1 mean 1).
+func NewServer(backends []lsh.ShardBackend, bands, inflight int) *Server {
+	if inflight < 1 {
+		inflight = 1
+	}
+	s := &Server{
+		backends: backends,
+		bands:    bands,
+		gates:    make([]chan struct{}, len(backends)),
+		shards:   make([]serverShard, len(backends)),
+	}
+	for i := range s.gates {
+		s.gates[i] = make(chan struct{}, inflight)
+	}
+	return s
+}
+
+// Candidates serves one query: the band keys (len Bands) fan out to
+// every shard concurrently, surviving buckets are gathered, and after
+// the fan-out settles they are emitted band-major in ascending shard
+// order (the range-partition merge contract). Failed or cancelled
+// shards are skipped and counted; skipped > 0 means the shortlist is
+// partial. The error is non-nil only when ctx was cancelled.
+func (s *Server) Candidates(ctx context.Context, keys []uint64, emit func(band int, bucket []int32)) (skipped int, err error) {
+	n := len(s.backends)
+	hits := make([][]bucketHit, n)
+	fails := make([]bool, n)
+	lats := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			// Backpressure: wait for an in-flight slot or cancellation.
+			select {
+			case s.gates[t] <- struct{}{}:
+			case <-ctx.Done():
+				fails[t] = true
+				return
+			}
+			defer func() { <-s.gates[t] }()
+			start := time.Now()
+			callErr := s.backends[t].Candidates(ctx, keys, func(band int, bucket []int32) {
+				hits[t] = append(hits[t], bucketHit{band: int32(band), bucket: bucket})
+			})
+			lats[t] = time.Since(start)
+			st := &s.shards[t]
+			st.mu.Lock()
+			st.calls++
+			st.totalNanos += lats[t].Nanoseconds()
+			if lats[t].Nanoseconds() > st.maxNanos {
+				st.maxNanos = lats[t].Nanoseconds()
+			}
+			if callErr != nil {
+				st.errors++
+				fails[t] = true
+				hits[t] = nil
+			}
+			st.mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+
+	// Straggler accounting: the slowest responding shard of this query.
+	slowest, slowestLat := -1, time.Duration(0)
+	for t := 0; t < n; t++ {
+		if !fails[t] && lats[t] > slowestLat {
+			slowest, slowestLat = t, lats[t]
+		}
+	}
+	if slowest >= 0 && n > 1 {
+		st := &s.shards[slowest]
+		st.mu.Lock()
+		st.stragglers++
+		st.mu.Unlock()
+	}
+
+	for t := 0; t < n; t++ {
+		if fails[t] {
+			skipped++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return skipped, err
+	}
+	cur := make([]int, n)
+	for b := int32(0); b < int32(s.bands); b++ {
+		for t := 0; t < n; t++ {
+			if h := hits[t]; cur[t] < len(h) && h[cur[t]].band == b {
+				emit(int(b), h[cur[t]].bucket)
+				cur[t]++
+			}
+		}
+	}
+	return skipped, nil
+}
+
+// bucketHit parks one emitted bucket until the fan-out settles.
+type bucketHit struct {
+	band   int32
+	bucket []int32
+}
+
+// Report returns per-shard serving statistics.
+func (s *Server) Report() []ShardReport {
+	out := make([]ShardReport, len(s.shards))
+	for i := range s.shards {
+		st := &s.shards[i]
+		st.mu.Lock()
+		out[i] = ShardReport{
+			Calls:      st.calls,
+			Errors:     st.errors,
+			Stragglers: st.stragglers,
+			Max:        time.Duration(st.maxNanos),
+		}
+		if st.calls > 0 {
+			out[i].Mean = time.Duration(st.totalNanos / st.calls)
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// Slowest returns the shard indices ordered by cumulative straggler
+// count, worst first — the placement/hedging priority a deployment
+// would act on.
+func (s *Server) Slowest() []int {
+	rep := s.Report()
+	idx := make([]int, len(rep))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return rep[idx[a]].Stragglers > rep[idx[b]].Stragglers })
+	return idx
+}

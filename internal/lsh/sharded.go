@@ -84,6 +84,11 @@ type Sharded struct {
 	// fan-out-mode report. Atomic for the same reason as mergeNanos.
 	probeOps  atomic.Int64
 	directOps atomic.Int64
+	// res, when non-nil, routes every cross-shard sweep through the
+	// fault-tolerant backend layer (AttachBackends): deadline-bounded,
+	// retried, optionally hedged calls with graceful degradation. Nil
+	// is the direct in-memory path.
+	res *resilience
 }
 
 // partition routes global item IDs to (shard, local) pairs.
@@ -263,6 +268,22 @@ func (sh *Sharded) Stats() Stats {
 	return st
 }
 
+// ItemKeysOf writes the band keys (len Bands) of an inserted global
+// item into keys, reporting false for unknown or uninserted items.
+// Read-only: safe for concurrent use once construction is done — the
+// key-resolution step a serving client runs before fanning a query out
+// to shard backends.
+func (sh *Sharded) ItemKeysOf(global int32, keys []uint64) bool {
+	s, local, ok := sh.part.locate(global)
+	if !ok || !sh.shards[s].isInserted(local) {
+		return false
+	}
+	for b := 0; b < sh.params.Bands; b++ {
+		keys[b] = sh.shards[s].itemBandKey(local, b)
+	}
+	return true
+}
+
 // route resolves a global item for an insert, rejecting IDs outside
 // the partition.
 func (sh *Sharded) route(global int32) (*Index, int32, error) {
@@ -425,12 +446,21 @@ func (sh *Sharded) NewReverse() *ShardedReverse {
 type ShardedReverse struct {
 	sh   *Sharded
 	revs []*Reverse
+	// degraded latches backend failures during source marking (see
+	// Degraded in resilient.go); emitted delimits the mark/Emit cycles
+	// the latch resets across.
+	degraded bool
+	emitted  bool
 }
 
 // AddSource marks every bucket the global source item occupies, across
 // all shards. Uninserted items are ignored.
 func (r *ShardedReverse) AddSource(global int32) {
 	sh := r.sh
+	if sh.res != nil {
+		r.addSourceBackend(global)
+		return
+	}
 	if sh.single != nil {
 		r.revs[0].AddSource(global)
 		return
@@ -465,6 +495,7 @@ func (r *ShardedReverse) AddSource(global int32) {
 // bucket scanned once; fn returning false stops the enumeration early.
 // All marks in all shards are reset before Emit returns.
 func (r *ShardedReverse) Emit(fn func(item int32) bool) {
+	r.emitted = true
 	if r.sh.single != nil {
 		r.revs[0].Emit(fn)
 		return

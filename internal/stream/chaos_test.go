@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"testing"
+
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/dataset"
+	"lshcluster/internal/lsh"
+)
+
+func chaosStreamWorkload(t *testing.T) (*dataset.Dataset, []dataset.Value) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Items: 400, Clusters: 10, Attrs: 14, Domain: 150,
+		MinRuleFrac: 0.6, MaxRuleFrac: 0.9, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	modes := make([]dataset.Value, 0, k*ds.NumAttrs())
+	for c := 0; c < k; c++ {
+		modes = append(modes, ds.Row(c)...)
+	}
+	return ds, modes
+}
+
+func runChaosStream(t *testing.T, ds *dataset.Dataset, modes []dataset.Value, shards int, spec string) *Clusterer {
+	t.Helper()
+	c, err := New(Config{
+		Params:       lsh.Params{Bands: 8, Rows: 2},
+		Seed:         5,
+		InitialModes: modes,
+		NumAttrs:     ds.NumAttrs(),
+		Shards:       shards,
+		ChaosSpec:    spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		if _, err := c.Add(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestStreamChaosZeroFaultBitIdentity pins the stream side of the
+// resilient-path oracle: a zero-fault chaos spec routes every
+// shortlist query through the backend layer and must leave every
+// assignment and counter bit-identical to the direct fan-out.
+func TestStreamChaosZeroFaultBitIdentity(t *testing.T) {
+	ds, modes := chaosStreamWorkload(t)
+	for _, shards := range []int{1, 3} {
+		ref := runChaosStream(t, ds, modes, shards, "")
+		got := runChaosStream(t, ds, modes, shards, "seed=4")
+		refA, gotA := ref.Assignments(), got.Assignments()
+		for i := range refA {
+			if refA[i] != gotA[i] {
+				t.Fatalf("shards=%d item %d: chaos %d, direct %d", shards, i, gotA[i], refA[i])
+			}
+		}
+		if ref.Stats() != got.Stats() {
+			t.Fatalf("shards=%d stats diverged: direct %+v, chaos %+v", shards, ref.Stats(), got.Stats())
+		}
+		if got.Stats().DegradedQueries != 0 {
+			t.Fatalf("zero-fault spec degraded %d queries", got.Stats().DegradedQueries)
+		}
+	}
+}
+
+// TestStreamChaosDegradedQueriesCounted pins graceful degradation on
+// the stream: with one shard permanently dead, every item is still
+// absorbed (partial shortlist or full-scan fallback) and the degraded
+// queries are counted.
+func TestStreamChaosDegradedQueriesCounted(t *testing.T) {
+	ds, modes := chaosStreamWorkload(t)
+	c := runChaosStream(t, ds, modes, 3, "seed=1;shard1.dead")
+	st := c.Stats()
+	if st.Items != ds.NumItems() {
+		t.Fatalf("absorbed %d of %d items", st.Items, ds.NumItems())
+	}
+	if st.DegradedQueries == 0 {
+		t.Fatal("DegradedQueries = 0 with a dead shard")
+	}
+	for i, a := range c.Assignments() {
+		if a < 0 || int(a) >= c.NumClusters() {
+			t.Fatalf("item %d assigned out of range: %d", i, a)
+		}
+	}
+}
+
+// TestStreamChaosSpecInvalid pins spec validation at construction.
+func TestStreamChaosSpecInvalid(t *testing.T) {
+	ds, modes := chaosStreamWorkload(t)
+	_, err := New(Config{
+		Params:       lsh.Params{Bands: 8, Rows: 2},
+		Seed:         5,
+		InitialModes: modes,
+		NumAttrs:     ds.NumAttrs(),
+		Shards:       2,
+		ChaosSpec:    "bogus=1",
+	})
+	if err == nil {
+		t.Fatal("invalid chaos spec accepted")
+	}
+}

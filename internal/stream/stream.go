@@ -26,6 +26,7 @@ import (
 	"lshcluster/internal/dataset"
 	"lshcluster/internal/kmodes"
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/lsh/serve"
 	"lshcluster/internal/minhash"
 )
 
@@ -66,6 +67,16 @@ type Config struct {
 	// switch is the correctness oracle for the kernels, mirroring the
 	// batch driver's core.Options.ScalarKernels.
 	ScalarKernels bool
+	// ChaosSpec, when non-empty, routes the index's cross-shard
+	// shortlist queries through the fault-tolerant backend layer with
+	// the given fault-injection script (see internal/lsh/serve for the
+	// grammar). A query that loses shards to faults degrades to a
+	// partial shortlist — counted in Stats.DegradedQueries — and an
+	// empty one falls back to the full mode scan, so the stream keeps
+	// absorbing items through shard failures. A spec injecting zero
+	// faults (e.g. "seed=1") exercises the resilient path with
+	// bit-identical assignments.
+	ChaosSpec string
 }
 
 // Stats counts the stream-side behaviour of the index.
@@ -79,6 +90,11 @@ type Stats struct {
 	CandidatesTotal int64
 	// Comparisons counts item-to-mode distance evaluations.
 	Comparisons int64
+	// DegradedQueries counts items whose shortlist query lost at least
+	// one shard to injected faults (Config.ChaosSpec): the assignment
+	// still completed, on a partial shortlist or the full-scan
+	// fallback. Always zero without a chaos spec.
+	DegradedQueries int
 }
 
 // Clusterer assigns a stream of categorical items to k evolving modes.
@@ -129,6 +145,20 @@ func New(cfg Config) (*Clusterer, error) {
 	ix, err := lsh.NewShardedStream(cfg.Params, cfg.Seed, cfg.Shards, cfg.CapacityHint)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ChaosSpec != "" {
+		spec, err := serve.ParseChaosSpec(cfg.ChaosSpec)
+		if err != nil {
+			return nil, err
+		}
+		locals := ix.LocalBackends()
+		// Primaries and hedge mirrors draw independent injection streams
+		// under the same fault model (salt 0 and 1; a dead shard is dead
+		// on its mirror too).
+		if err := ix.AttachBackends(nil, spec.Wrap(locals, 0), spec.Wrap(locals, 1),
+			lsh.Policy{Seed: spec.Seed() + 1}); err != nil {
+			return nil, err
+		}
 	}
 	c := &Clusterer{
 		k:      k,
@@ -236,6 +266,9 @@ func (c *Clusterer) Add(row []dataset.Value, present []bool) (int, error) {
 			c.short = append(c.short, cl)
 		}
 	})
+	if partial, ownerDown := c.query.LastDegraded(); partial || ownerDown {
+		c.stats.DegradedQueries++
+	}
 
 	best := -1
 	bestD := c.m + 1

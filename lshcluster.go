@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"lshcluster/internal/core"
 	"lshcluster/internal/datagen"
@@ -153,6 +154,28 @@ type Config struct {
 	// bit-identical either way); this switch is the correctness oracle
 	// and A/B baseline.
 	DisableImmediateBatching bool
+	// ChaosSpec, when non-empty, routes the sharded LSH index's
+	// cross-shard fan-out through the fault-tolerant backend layer with
+	// the given fault-injection script (see internal/lsh/serve for the
+	// grammar, e.g. "seed=1;err=0.05;shard2.dead"). Backend calls then
+	// carry deadlines, bounded retries and hedged requests; shards down
+	// past the retry budget degrade the run to partial shortlists —
+	// recorded in Stats.DegradedItems — instead of failing it. A spec
+	// injecting zero faults exercises the whole resilient path
+	// bit-identically to the direct fan-out.
+	ChaosSpec string
+	// RetryBudget is the number of retries after a failed shard-backend
+	// call (0 = default, negative = none). Ignored without ChaosSpec.
+	RetryBudget int
+	// HedgeAfter is the straggler threshold after which a shard-backend
+	// call is hedged to a mirror replica (0 = default, negative disables
+	// hedging). Ignored without ChaosSpec.
+	HedgeAfter time.Duration
+	// DisableHedging turns hedged shard-backend requests off, leaving
+	// deadlines and retries in place (results are bit-identical either
+	// way); this switch is the correctness oracle and A/B baseline for
+	// the hedge race. Ignored without ChaosSpec.
+	DisableHedging bool
 	// OnIteration, when non-nil, receives each iteration's statistics
 	// as it completes.
 	OnIteration func(Iteration)
@@ -169,6 +192,10 @@ func (c Config) coreOptions() core.Options {
 		ForeignSlotBudget:        c.ForeignSlotBudget,
 		DisableForeignSlots:      c.DisableForeignSlots,
 		ScalarKernels:            c.ScalarKernels,
+		ChaosSpec:                c.ChaosSpec,
+		RetryBudget:              c.RetryBudget,
+		HedgeAfter:               c.HedgeAfter,
+		DisableHedging:           c.DisableHedging,
 		OnIteration:              c.OnIteration,
 		Context:                  c.Context,
 		DisableIncremental:       c.DisableIncremental,

@@ -1,0 +1,63 @@
+package lshcluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterChaosEquivalence is the facade-level resilient-path
+// oracle: Config.ChaosSpec with zero faults (with and without hedging)
+// must cluster bit-identically to the plain sharded run, and a spec
+// with a dead shard must degrade gracefully — run completes, partial
+// evaluations counted, skipped shard reported.
+func TestClusterChaosEquivalence(t *testing.T) {
+	ds := syntheticDataset(t)
+	cfg := Config{K: 15, Seed: 2, LSH: &Params{Bands: 10, Rows: 2}, Shards: 3, MaxIterations: 6}
+	oracle, err := Cluster(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []struct {
+		label string
+		mut   func(*Config)
+	}{
+		{"hedged", func(c *Config) { c.ChaosSpec = "seed=3" }},
+		{"no-hedging", func(c *Config) { c.ChaosSpec = "seed=3"; c.DisableHedging = true }},
+	} {
+		c := cfg
+		variant.mut(&c)
+		got, err := Cluster(ds, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range oracle.Assign {
+			if oracle.Assign[i] != got.Assign[i] {
+				t.Fatalf("%s: assign[%d] = %d, oracle %d", variant.label, i, got.Assign[i], oracle.Assign[i])
+			}
+		}
+		if got.Stats.DegradedItems != 0 || got.Stats.SkippedShards != 0 {
+			t.Fatalf("%s: zero-fault chaos degraded the run: %d items, %d shards",
+				variant.label, got.Stats.DegradedItems, got.Stats.SkippedShards)
+		}
+	}
+
+	c := cfg
+	c.ChaosSpec = "seed=1;err=0.05;shard1.dead"
+	degraded, err := Cluster(ds, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Stats.DegradedItems == 0 || degraded.Stats.SkippedShards < 1 {
+		t.Fatalf("dead-shard run not accounted: %d degraded items, %d skipped shards",
+			degraded.Stats.DegradedItems, degraded.Stats.SkippedShards)
+	}
+	if len(degraded.Assign) != ds.NumItems() {
+		t.Fatal("degraded run dropped assignments")
+	}
+
+	if _, err := Cluster(ds, Config{
+		K: 15, Seed: 2, LSH: &Params{Bands: 10, Rows: 2}, Shards: 2, ChaosSpec: "bogus=1",
+	}); err == nil || !strings.Contains(err.Error(), "invalid chaos spec") {
+		t.Fatalf("invalid spec: err = %v", err)
+	}
+}
