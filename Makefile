@@ -56,6 +56,7 @@ chaos:
 fuzz-smoke:
 	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzBuildFrozenIdentity -fuzztime=30s
 	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzForeignSlotSpans -fuzztime=30s
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzReorderIdentity -fuzztime=30s
 
 clean:
 	rm -f *-report.txt bench-*.txt chaos-soak-in.csv chaos-soak-stats.csv

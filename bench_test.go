@@ -622,6 +622,70 @@ func benchForeignSlots(b *testing.B, disable bool) {
 func BenchmarkAblationForeignSlotsOff(b *testing.B) { benchForeignSlots(b, true) }
 func BenchmarkAblationForeignSlotsOn(b *testing.B)  { benchForeignSlots(b, false) }
 
+// ---- locality-preserving item reordering ----
+
+// benchLocality is the reordering A/B on the 100k workload: a
+// full-scan accelerated run at the given shard count with the
+// locality-reordering stage on (default) or off (the DisableReorder
+// original-order oracle). Assignments are bit-identical across the
+// pair — the permutation only changes memory layout — so iter_ms
+// isolates the cache-residency win. reorder_ms prices the stage
+// itself (one permutation pass over the signature arena) and
+// shard_local_frac reports, at S>1, the fraction of fan-out
+// candidates served by the querying item's own shard — the quantity
+// the reordering exists to raise.
+func benchLocality(b *testing.B, shards int, disable bool) {
+	const k = 1000
+	ds := signWorkload(b)
+	var reorder, iter time.Duration
+	var iters int
+	var local, foreign int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: k, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(space, core.Options{
+			Accelerator:    accel,
+			SkipCost:       true,
+			MaxIterations:  4,
+			Workers:        4,
+			Update:         core.UpdateDeferred,
+			Shards:         shards,
+			DisableReorder: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reorder += res.Stats.ReorderTime
+		local += res.Stats.ShardLocalCands
+		foreign += res.Stats.ShardForeignCands
+		for _, it := range res.Stats.Iterations {
+			iter += it.Duration
+			iters++
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(reorder.Milliseconds())/n, "reorder_ms")
+	if iters > 0 {
+		b.ReportMetric(float64(iter.Milliseconds())/float64(iters), "iter_ms")
+	}
+	if total := local + foreign; total > 0 {
+		b.ReportMetric(float64(local)/float64(total), "shard_local_frac")
+	}
+}
+
+func BenchmarkLocalityReorderOff1(b *testing.B) { benchLocality(b, 1, true) }
+func BenchmarkLocalityReorderOn1(b *testing.B)  { benchLocality(b, 1, false) }
+func BenchmarkLocalityReorderOff4(b *testing.B) { benchLocality(b, 4, true) }
+func BenchmarkLocalityReorderOn4(b *testing.B)  { benchLocality(b, 4, false) }
+
 // benchCandidates measures the recurring per-iteration collision
 // lookup over every indexed item, on the map-based builder layout vs
 // the frozen CSR layout.

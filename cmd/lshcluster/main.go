@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"sync"
@@ -65,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	noActive := fs.Bool("no-active-filter", false, "evaluate every item each pass instead of only the active set (A/B baseline; results are identical)")
 	noParallelBoot := fs.Bool("no-parallel-bootstrap", false, "run the serial per-item bootstrap instead of the parallel sign/build/assign pipeline (A/B baseline; results are identical)")
 	noImmediateBatch := fs.Bool("no-immediate-batching", false, "evaluate immediate-update passes item by item instead of in move-bounded blocks (A/B baseline; results are identical)")
+	noReorder := fs.Bool("no-reorder", false, "build the LSH index in original item order instead of the locality-preserving permutation (A/B baseline; results are identical)")
 	chaosSpec := fs.String("chaos-spec", "", "route cross-shard queries through fault-injecting backends with this spec (e.g. \"seed=1;err=0.05;shard2.dead\"); empty spec = direct fan-out, zero-fault spec (\"seed=1\") = resilient path, bit-identical results")
 	retryBudget := fs.Int("retry-budget", 0, "retries after a failed shard-backend call (0 = default, negative = none; needs -chaos-spec)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "straggler threshold before hedging a shard call to its mirror (0 = default, negative disables; needs -chaos-spec)")
@@ -127,6 +129,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DisableActiveFilter:      *noActive,
 		DisableParallelBootstrap: *noParallelBoot,
 		DisableImmediateBatching: *noImmediateBatch,
+		DisableReorder:           *noReorder,
 		ChaosSpec:                *chaosSpec,
 		RetryBudget:              *retryBudget,
 		HedgeAfter:               *hedgeAfter,
@@ -181,10 +184,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if run.ForeignSlotBytes > 0 {
 			fanOut = fmt.Sprintf("foreign-slot fan-out, %d KiB", run.ForeignSlotBytes/1024)
 		}
-		fmt.Fprintf(stderr, "lshcluster: %d index shards (slowest build: shard %d at %v; cross-shard merge %v; %s, probe fraction %.2f)\n",
+		locality := ""
+		if frac := run.ShardLocalFrac(); !math.IsNaN(frac) {
+			locality = fmt.Sprintf("; shard-local candidate fraction %.2f", frac)
+		}
+		fmt.Fprintf(stderr, "lshcluster: %d index shards (slowest build: shard %d at %v; cross-shard merge %v; %s, probe fraction %.2f%s)\n",
 			run.Shards, slowest, slowestBuild.Round(time.Millisecond),
 			run.CrossShardMerge.Round(time.Millisecond),
-			fanOut, run.CrossShardProbeFrac())
+			fanOut, run.CrossShardProbeFrac(), locality)
+	}
+	if run.ReorderTime > 0 {
+		fmt.Fprintf(stderr, "lshcluster: locality reorder %v (items permuted so co-colliding IDs are contiguous; output stays in original-ID space)\n",
+			run.ReorderTime.Round(time.Millisecond))
 	}
 	if run.DegradedItems > 0 || run.SkippedShards > 0 || run.ShardRetries > 0 || run.HedgedCalls > 0 {
 		fmt.Fprintf(stderr, "lshcluster: DEGRADED: %d item evaluations on partial shortlists; %d shard(s) failed past the retry budget (%d retries, %d timeouts, %d hedged calls, %d hedge wins)\n",

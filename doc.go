@@ -132,6 +132,21 @@
 // crossshard_merge_ms CSV column, alongside the per-shard build
 // breakdown (Run.BootstrapBuildShards).
 //
+// Before the shards are cut, the bulk bootstrap runs a
+// locality-reordering stage: items are permuted so that items sharing
+// band buckets become contiguous, the range partitioner cuts shards
+// over the permuted order, and collisions concentrate in the owning
+// shard — shortlist sweeps then scan near-sequential memory instead of
+// striding the whole assignment array. The permutation is invisible
+// from outside: everything the caller sees stays in original item IDs,
+// every tie-break is kept in original-ID order, and results are
+// bit-identical to the original-order build, which
+// Config.DisableReorder retains as the correctness oracle. See
+// internal/README.md, "ID spaces: locality-preserving item
+// reordering", for the two-ID-space contract; Run.ReorderTime and
+// Run.ShardLocalFrac (reorder_ms, shard_local_frac in the CSV) report
+// the stage's cost and effect.
+//
 // The fan-out tax is paid by one of two mechanisms. By default, once
 // every shard is frozen the index materialises foreign-slot arrays —
 // for every owner bucket, the matching bucket's span in each foreign

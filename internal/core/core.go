@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"time"
 
@@ -268,6 +269,18 @@ type Options struct {
 	// correctness oracle, and this switch exists for equivalence tests
 	// and A/B benchmarks.
 	DisableImmediateBatching bool
+	// DisableReorder forces the sharded index to build in original item
+	// order even when the accelerator supports locality-preserving
+	// reordering (ReorderConfigurer). By default the bulk frozen build
+	// permutes items so co-colliding ones become contiguous — shard
+	// fan-out concentrates in the owning shard and shortlist scans turn
+	// near-sequential — while every externally visible artifact stays
+	// in original-ID space and every tie-break stays on original ID, so
+	// results are bit-identical; the original-order build is the
+	// correctness oracle, and this switch exists for equivalence tests
+	// and A/B benchmarks. Implied by ChaosSpec (the backend fan-out
+	// requires identity order).
+	DisableReorder bool
 	// ChaosSpec, when non-empty, routes the sharded index's cross-shard
 	// fan-out through the fault-tolerant backend layer with the given
 	// serve.ParseChaosSpec fault-injection script (ResilienceConfigurer
@@ -458,6 +471,9 @@ func Run(space Space, opts Options) (*Result, error) {
 		res.Stats.ForeignSlotBytes = ss.ForeignSlotBytes
 		res.Stats.CrossShardProbes = ss.ProbeOps
 		res.Stats.CrossShardDirect = ss.DirectOps
+		res.Stats.ReorderTime = ss.ReorderTime
+		res.Stats.ShardLocalCands = ss.LocalCands
+		res.Stats.ShardForeignCands = ss.ForeignCands
 		res.Stats.ShardRetries = ss.Retries
 		res.Stats.ShardTimeouts = ss.Timeouts
 		res.Stats.HedgedCalls = ss.HedgedCalls
@@ -487,6 +503,23 @@ type driver struct {
 	inc IncrementalSpace
 	// snapshot holds the pass-start assignment under UpdateDeferred.
 	snapshot []int32
+	// perm/assignInt are the locality-reordering view (nil when the
+	// index built in original order): perm[original] = internal, and
+	// assignInt mirrors assign in internal-ID space so shortlist sweeps
+	// — which emit internal IDs on a reordered index — read assignments
+	// in near-sequential order. Every assignment write goes through
+	// setAssign to keep the mirror coherent; d.assign stays the
+	// original-ID source of truth for every externally visible artifact.
+	// inv is perm's inverse (inv[internal] = original); unfiltered
+	// deferred passes sweep items in ascending-internal order — the
+	// order the reordered arena was built in, so slot rows and buckets
+	// stream sequentially — and moveSort re-sorts their collected moves
+	// back into ascending-original order before they reach the
+	// incremental space (whose float accumulators are order-sensitive).
+	perm      []int32
+	inv       []int32
+	assignInt []int32
+	moveSort  []moveRec
 	// bootSign/bootBuild/bootAssign split the bootstrap wall time into
 	// its signing, index-construction and first-assignment phases
 	// (runstats.Run.Bootstrap* — see those fields for which phases stay
@@ -582,6 +615,9 @@ func (d *driver) bootstrap() error {
 	}
 	if fc, ok := accel.(ForeignSlotConfigurer); ok {
 		fc.SetForeignSlots(d.opts.ForeignSlotBudget, d.opts.DisableForeignSlots)
+	}
+	if ro, ok := accel.(ReorderConfigurer); ok {
+		ro.SetReorder(d.opts.DisableReorder)
 	}
 	if rc, ok := accel.(ResilienceConfigurer); ok {
 		rc.SetResilience(ResilienceConfig{
@@ -722,7 +758,34 @@ func (d *driver) bootstrap() error {
 		return fmt.Errorf("core: unknown bootstrap mode %d", d.opts.Bootstrap)
 	}
 	d.querier = accel.NewQuerier()
+	// A reordered index emits candidates in internal-ID space, so the
+	// iteration passes need an internal-ID mirror of the assignment for
+	// their query views. The bootstrap itself never queries a reordered
+	// index with an assignment view (the bulk path's first assignment
+	// is the exact scan; the seeded and serial paths build in original
+	// order), so initialising the mirror once here is sufficient.
+	if rm, ok := accel.(ReorderMapper); ok {
+		if perm, inv := rm.ReorderMap(); perm != nil {
+			d.perm, d.inv = perm, inv
+			d.assignInt = make([]int32, d.n)
+			for i, c := range d.assign {
+				d.assignInt[perm[i]] = c
+			}
+		}
+	}
 	return ctxErr(d.opts.Context)
+}
+
+// setAssign records item i's move to cluster c in the original-ID
+// assignment and, when the index is reordered, in the internal-ID
+// mirror. Parallel workers may call it concurrently: each item is
+// decided by exactly one worker and perm is a bijection, so both
+// cells are written by that worker alone.
+func (d *driver) setAssign(i int, c int32) {
+	d.assign[i] = c
+	if d.perm != nil {
+		d.assignInt[d.perm[i]] = c
+	}
 }
 
 // bootstrapScan runs the exact first assignment over all n items —
@@ -888,9 +951,17 @@ func (d *driver) pass() passStats {
 	if d.opts.Accelerator == nil {
 		return d.exactPass()
 	}
-	view := d.assign
+	// A reordered index emits candidates as internal IDs, so query
+	// views must be indexed in internal space; setAssign keeps the
+	// mirror coherent with d.assign, which stays the original-ID
+	// source of truth (results, stats, active filter).
+	src := d.assign
+	if d.perm != nil {
+		src = d.assignInt
+	}
+	view := src
 	if d.opts.Update == UpdateDeferred {
-		d.snapshot = append(d.snapshot[:0], d.assign...)
+		d.snapshot = append(d.snapshot[:0], src...)
 		view = d.snapshot
 	}
 	if d.opts.Workers > 1 && d.opts.Update == UpdateDeferred {
@@ -927,6 +998,13 @@ func (d *driver) pass() passStats {
 func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
 	filtered := d.filtered()
 	dq, _ := bq.(DegradedQuerier)
+	// The live view the block queries read: the internal-ID mirror on a
+	// reordered index (kept current by setAssign below), d.assign
+	// otherwise.
+	live := d.assign
+	if d.perm != nil {
+		live = d.assignInt
+	}
 	var buf [queryBlockLen]int32
 	poll := 0
 	for next := 0; next < d.n; {
@@ -952,7 +1030,7 @@ func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
 			}
 		}
 		movedAt := -1
-		bq.CandidatesBlock(blk, d.assign, func(pos int, shortlist []int32) {
+		bq.CandidatesBlock(blk, live, func(pos int, shortlist []int32) {
 			if movedAt >= 0 {
 				return // discarded tail: stale after the move
 			}
@@ -962,7 +1040,7 @@ func (d *driver) immediateBlockPass(bq BlockQuerier) (ps passStats) {
 			best := d.bestWithDegraded(dq, it, int(cur), shortlist, &ps)
 			ps.evaluated++
 			if best != cur {
-				d.assign[it] = best
+				d.setAssign(it, best)
 				if d.inc != nil {
 					d.inc.ApplyMove(it, cur, best)
 				}
@@ -1009,7 +1087,7 @@ func (d *driver) serialPass(view []int32) (ps passStats) {
 			// The write below *is* the paper's "update the cluster
 			// reference in the MinHash index": buckets store item IDs
 			// and queries map them through this slice.
-			d.assign[i] = best
+			d.setAssign(i, best)
 			if d.inc != nil {
 				// Immediate mode: fold the move in as it happens.
 				// Visible centroids stay frozen until FinishPass, so
@@ -1027,10 +1105,20 @@ func (d *driver) serialPass(view []int32) (ps passStats) {
 // block-capable querier: shortlists are gathered queryBlockLen items at
 // a time against the snapshot, so the index sweep amortises cache
 // misses. Moves decided inside a block cannot affect the block's other
-// shortlists — that is exactly the deferred-update semantics.
+// shortlists — that is exactly the deferred-update semantics. On a
+// reordered index the unfiltered sweep walks items in ascending
+// *internal* order (see sweepItem) and the moves are re-sorted into
+// ascending original order before the incremental space folds them —
+// deferred decisions are order-independent, so only the fold order had
+// to be preserved.
 func (d *driver) serialBlockPass(bq BlockQuerier, view []int32) (ps passStats) {
 	filtered := d.filtered()
 	var buf [queryBlockLen]int32
+	var log *[]moveRec
+	if d.perm != nil && d.inc != nil {
+		d.moveSort = d.moveSort[:0]
+		log = &d.moveSort
+	}
 	next, poll := 0, 0
 	for {
 		blk := buf[:0]
@@ -1041,27 +1129,62 @@ func (d *driver) serialBlockPass(bq BlockQuerier, view []int32) (ps passStats) {
 			}
 		} else {
 			for next < d.n && len(blk) < queryBlockLen {
-				blk = append(blk, int32(next))
+				blk = append(blk, d.sweepItem(next))
 				next++
 			}
 		}
 		if len(blk) == 0 {
-			return ps
+			break
 		}
 		if poll += len(blk); poll >= ctxPollEvery {
 			poll = 0
 			if ctxErr(d.opts.Context) != nil {
-				return ps
+				break
 			}
 		}
-		d.evalBlock(bq, blk, view, &ps, nil)
+		d.evalBlock(bq, blk, view, &ps, log)
+	}
+	if log != nil {
+		d.applyMovesOriginalOrder(*log)
+	}
+	return ps
+}
+
+// sweepItem maps an unfiltered deferred-pass cursor position to the
+// item evaluated there: position = item on an original-order index,
+// and the position'th item of the *internal* order on a reordered one,
+// so consecutive positions touch consecutive internal IDs and the
+// sweep streams the permuted arena the way it was built. Every item is
+// still evaluated exactly once per pass, decisions read only the
+// snapshot view, and move side effects are re-ordered where they are
+// order-sensitive (applyMovesOriginalOrder), so results are
+// bit-identical to the original-order sweep.
+func (d *driver) sweepItem(pos int) int32 {
+	if d.perm != nil {
+		return d.inv[pos]
+	}
+	return int32(pos)
+}
+
+// applyMovesOriginalOrder folds a deferred pass's collected moves into
+// the incremental space in ascending original-item order — the order
+// the original-order serial pass applies them in. Sorting is what
+// makes the internal-order sweep invisible: K-Means' running sums are
+// floating-point accumulators, so the fold order is part of the
+// bit-identity contract.
+func (d *driver) applyMovesOriginalOrder(moves []moveRec) {
+	slices.SortFunc(moves, func(a, b moveRec) int { return int(a.item) - int(b.item) })
+	for _, mv := range moves {
+		d.inc.ApplyMove(int(mv.item), mv.from, mv.to)
 	}
 }
 
 // evalBlock runs one batched shortlist query and evaluates every item
 // in the block. log, when non-nil, receives the moves instead of the
-// incremental engine — parallel workers batch their moves for ordered
-// replay after the join; the serial caller passes nil and applies
+// incremental engine — callers batch moves whenever the pass order is
+// not the apply order: parallel workers replay after the join, and
+// reordered serial sweeps re-sort to ascending original first. The
+// serial caller on an unreordered index passes nil and applies
 // immediately.
 func (d *driver) evalBlock(bq BlockQuerier, blk []int32, view []int32, ps *passStats, log *[]moveRec) {
 	dq, _ := bq.(DegradedQuerier)
@@ -1072,7 +1195,7 @@ func (d *driver) evalBlock(bq BlockQuerier, blk []int32, view []int32, ps *passS
 		best := d.bestWithDegraded(dq, i, int(cur), shortlist, ps)
 		ps.evaluated++
 		if best != cur {
-			d.assign[i] = best
+			d.setAssign(i, best)
 			if log != nil {
 				*log = append(*log, moveRec{int32(i), cur, best})
 			} else if d.inc != nil {
@@ -1176,7 +1299,7 @@ func (d *driver) workerBlocks(bq BlockQuerier, lo, hi int, filtered bool, view [
 			if filtered {
 				blk = append(blk, d.act.curList[next])
 			} else {
-				blk = append(blk, int32(next))
+				blk = append(blk, d.sweepItem(next))
 			}
 			next++
 		}
@@ -1212,7 +1335,7 @@ func (d *driver) workerItems(q Querier, lo, hi int, filtered bool, view []int32,
 		best := d.bestWithDegraded(dq, i, int(cur), shortlist, ps)
 		ps.evaluated++
 		if best != cur {
-			d.assign[i] = best
+			d.setAssign(i, best)
 			if log != nil {
 				*log = append(*log, moveRec{int32(i), cur, best})
 			}
@@ -1225,9 +1348,20 @@ func (d *driver) workerItems(q Querier, lo, hi int, filtered bool, view []int32,
 // applyMoveLogs replays per-worker move batches into the incremental
 // space after a parallel pass joins. Worker domains are contiguous and
 // ascending, so replaying workers in order applies moves in ascending
-// item order — the same order the single-threaded pass uses.
+// item order — the same order the single-threaded pass uses. On a
+// reordered index the unfiltered block sweep walks internal order, so
+// the concatenated logs are re-sorted back into ascending original
+// order instead (applyMovesOriginalOrder).
 func (d *driver) applyMoveLogs(w int, log func(g int) []moveRec) {
 	if d.inc == nil {
+		return
+	}
+	if d.perm != nil {
+		d.moveSort = d.moveSort[:0]
+		for g := 0; g < w; g++ {
+			d.moveSort = append(d.moveSort, log(g)...)
+		}
+		d.applyMovesOriginalOrder(d.moveSort)
 		return
 	}
 	for g := 0; g < w; g++ {

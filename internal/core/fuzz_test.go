@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"lshcluster/internal/datagen"
+	"lshcluster/internal/kmodes"
+	"lshcluster/internal/lsh"
+
+	"lshcluster/internal/core"
+)
+
+// FuzzReorderIdentity fuzzes the locality-reordering oracle end to
+// end: for any workload shape, banding, shard count, worker count and
+// update mode, a full MH-K-Modes run on the locality-reordered index
+// must produce assignments (in original-ID space), iteration counts
+// and move counts byte-identical to the DisableReorder oracle, and the
+// permutation the index derived must satisfy perm∘inv = identity.
+func FuzzReorderIdentity(f *testing.F) {
+	f.Add(uint16(200), uint8(10), uint64(7), uint8(2), uint8(1), false)
+	f.Add(uint16(57), uint8(3), uint64(1), uint8(4), uint8(4), true)
+	f.Add(uint16(331), uint8(25), uint64(99), uint8(1), uint8(1), true)
+	f.Add(uint16(120), uint8(7), uint64(42), uint8(3), uint8(2), false)
+	f.Fuzz(func(t *testing.T, nRaw uint16, kRaw uint8, seed uint64, shardsRaw, workersRaw uint8, deferred bool) {
+		n := 40 + int(nRaw)%360
+		k := 2 + int(kRaw)%30
+		if k > n {
+			k = n
+		}
+		shards := 1 + int(shardsRaw)%4
+		workers := 1 + int(workersRaw)%4
+		ds, err := datagen.Generate(datagen.Config{
+			Items: n, Clusters: k, Attrs: 10, Domain: 60,
+			MinRuleFrac: 0.5, MaxRuleFrac: 0.9, Seed: int64(seed%1000) + 1,
+		})
+		if err != nil {
+			t.Skip() // degenerate generator shape
+		}
+		upd := core.UpdateImmediate
+		if deferred || workers > 1 {
+			upd = core.UpdateDeferred
+		}
+		run := func(disable bool) (*core.Result, core.Accelerator) {
+			space, err := kmodes.NewSpace(ds, kmodes.Config{K: k, Seed: int64(seed % 1000)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 6, Rows: 3}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(space, core.Options{
+				Accelerator: accel, Update: upd, Workers: workers,
+				Shards: shards, MaxIterations: 5, DisableReorder: disable,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, accel
+		}
+		ord, accel := run(false)
+		ref, _ := run(true)
+		perm, inv := accel.(core.ReorderMapper).ReorderMap()
+		if perm == nil {
+			t.Fatal("bulk bootstrap did not reorder the index")
+		}
+		if len(perm) != n || len(inv) != n {
+			t.Fatalf("perm/inv lengths %d/%d, want %d", len(perm), len(inv), n)
+		}
+		for i := 0; i < n; i++ {
+			if inv[perm[i]] != int32(i) || perm[inv[i]] != int32(i) {
+				t.Fatalf("perm/inv not inverse at %d", i)
+			}
+		}
+		for i := range ref.Assign {
+			if ref.Assign[i] != ord.Assign[i] {
+				t.Fatalf("assign[%d]: reordered %d, oracle %d", i, ord.Assign[i], ref.Assign[i])
+			}
+		}
+		if len(ord.Stats.Iterations) != len(ref.Stats.Iterations) {
+			t.Fatalf("iterations: reordered %d, oracle %d",
+				len(ord.Stats.Iterations), len(ref.Stats.Iterations))
+		}
+		for i := range ref.Stats.Iterations {
+			if ref.Stats.Iterations[i].Moves != ord.Stats.Iterations[i].Moves {
+				t.Fatalf("iteration %d moves: reordered %d, oracle %d",
+					i+1, ord.Stats.Iterations[i].Moves, ref.Stats.Iterations[i].Moves)
+			}
+		}
+	})
+}

@@ -64,6 +64,29 @@ type ForeignSlotConfigurer interface {
 	SetForeignSlots(budget int64, disable bool)
 }
 
+// ReorderConfigurer is an optional Accelerator capability:
+// accelerators whose sharded index supports the locality-preserving
+// item reordering (lsh.Sharded.SetReorder) implement it. The driver
+// forwards Options.DisableReorder once per Run, before Reset; the
+// index derives and applies the permutation during its bulk frozen
+// build. Accelerators without the capability simply build in original
+// order.
+type ReorderConfigurer interface {
+	// SetReorder configures locality reordering for the next Reset:
+	// disable pins the original-order oracle.
+	SetReorder(disable bool)
+}
+
+// ReorderMapper is an optional Accelerator capability: expose the
+// locality permutation the index applied during its frozen build
+// (perm[original] = internal, inv[internal] = original), or nil/nil
+// when the build ran in original order. The driver uses it to keep an
+// internal-ID mirror of the assignment slice so shortlist sweeps read
+// assignments in near-sequential order.
+type ReorderMapper interface {
+	ReorderMap() (perm, inv []int32)
+}
+
 // ShardStats is the post-run shard report of a ShardStatsReporter.
 type ShardStats struct {
 	// Shards is the shard count of the index (0 when none was built).
@@ -71,6 +94,16 @@ type ShardStats struct {
 	// BuildTimes holds the per-shard frozen-build wall times (nil when
 	// the index never froze).
 	BuildTimes []time.Duration
+	// ReorderTime is the wall time the locality-reordering stage spent
+	// deriving and applying the permutation (zero when reordering was
+	// disabled or inapplicable).
+	ReorderTime time.Duration
+	// LocalCands/ForeignCands count shortlist candidates by origin:
+	// served by the queried item's owning shard versus fanned out from
+	// the other shards. Their ratio (runstats' shard_local_frac) is the
+	// locality measure reordering exists to raise. Counted only on
+	// multi-shard range partitions — zero at S=1 and on stride layouts.
+	LocalCands, ForeignCands int64
 	// CrossShardMerge is the cumulative time spent in cross-shard
 	// candidate sweeps (zero with one shard).
 	CrossShardMerge time.Duration
@@ -156,6 +189,9 @@ type ShardedIndexBase struct {
 	// once the frozen layout exists (BuildFrozen / Freeze).
 	foreignBudget int64
 	foreignOff    bool
+	// reorderOff holds the locality-reordering configuration the driver
+	// forwarded (ReorderConfigurer); applied at the next ResetIndex.
+	reorderOff bool
 	// resCfg/resSpec/resErr hold the resilience configuration the
 	// driver forwarded (ResilienceConfigurer): the parsed chaos spec
 	// (nil when no spec, i.e. the direct fan-out), or the parse error
@@ -196,6 +232,23 @@ func (b *ShardedIndexBase) materializeForeign() {
 		budget = lsh.DefaultForeignSlotBudget
 	}
 	b.index.MaterializeForeignSlots(budget)
+}
+
+// SetReorder stores the locality-reordering configuration for the
+// next ResetIndex (core.ReorderConfigurer): disable pins the
+// original-order oracle.
+func (b *ShardedIndexBase) SetReorder(disable bool) {
+	b.reorderOff = disable
+}
+
+// ReorderMap exposes the locality permutation of the current index
+// (core.ReorderMapper): nil/nil before Reset or when the build ran in
+// original order.
+func (b *ShardedIndexBase) ReorderMap() (perm, inv []int32) {
+	if b.index == nil {
+		return nil, nil
+	}
+	return b.index.ReorderMap()
 }
 
 // SetResilience stores the fault-tolerance configuration for the next
@@ -248,10 +301,14 @@ func (b *ShardedIndexBase) ShardStats() ShardStats {
 		return ShardStats{}
 	}
 	probes, direct := b.index.FanOutOps()
+	local, foreign := b.index.FanOutLocality()
 	res := b.index.ResilienceStats()
 	return ShardStats{
 		Shards:           b.index.NumShards(),
 		BuildTimes:       b.index.BuildTimes(),
+		ReorderTime:      b.index.ReorderTime(),
+		LocalCands:       local,
+		ForeignCands:     foreign,
 		CrossShardMerge:  b.index.MergeTime(),
 		ForeignSlotBytes: b.index.ForeignSlotBytes(),
 		ProbeOps:         probes,
@@ -289,6 +346,10 @@ func (b *ShardedIndexBase) ResetIndex(params lsh.Params, seed uint64, numItems, 
 	if err != nil {
 		return err
 	}
+	// Locality reordering is incompatible with the backend fan-out
+	// (replay merges assume identity item order), so a chaos spec pins
+	// the original-order build regardless of DisableReorder.
+	ix.SetReorder(!b.reorderOff && b.resSpec == nil)
 	b.params = params
 	b.index = ix
 	b.n = numItems

@@ -265,6 +265,13 @@ func (sh *Sharded) AttachBackends(ctx context.Context, backends, mirrors []Shard
 	if mirrors != nil && len(mirrors) != len(sh.shards) {
 		return fmt.Errorf("lsh: %d mirror backends for %d shards", len(mirrors), len(sh.shards))
 	}
+	if sh.perm != nil {
+		// The backend replay merges assume identity-ordered shard
+		// buckets; callers that want backend routing build with
+		// SetReorder(false) (core disables reordering whenever a
+		// resilience config is present).
+		return fmt.Errorf("lsh: backends cannot attach to a locality-reordered index")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

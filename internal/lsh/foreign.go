@@ -56,6 +56,7 @@ func (sh *Sharded) MaterializeForeignSlots(budget int64) int64 {
 		return 0
 	}
 	foreign := make([][]int32, S)
+	foreignEmpty := make([][]uint64, S)
 	bands := sh.params.Bands
 	stride := 2 * (S - 1)
 	var wg sync.WaitGroup
@@ -83,11 +84,29 @@ func (sh *Sharded) MaterializeForeignSlots(budget int64) int64 {
 				}
 				ti++
 			}
+			// Per-slot emptiness bitmap: bit u set when slot u's whole
+			// row is empty spans, so queries can skip the row read (see
+			// Sharded.foreignEmpty).
+			words := make([]uint64, (numSlots+63)/64)
+			for slot := 0; slot < numSlots; slot++ {
+				empty := true
+				for c := 0; c < stride; c += 2 {
+					if rows[slot*stride+c] != rows[slot*stride+c+1] {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					words[slot>>6] |= 1 << (slot & 63)
+				}
+			}
 			foreign[s] = rows
+			foreignEmpty[s] = words
 		}(s)
 	}
 	wg.Wait()
 	sh.foreign = foreign
+	sh.foreignEmpty = foreignEmpty
 	sh.foreignBytes = need
 	return need
 }

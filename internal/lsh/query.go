@@ -34,6 +34,10 @@ type Query struct {
 	locals  []int32
 	keyBuf  []uint64
 	slotBuf []int32
+	// order is the reordered block sweep's position schedule: valid
+	// block positions sorted by internal ID, so the sweep walks the
+	// permuted arena sequentially (candidatesBatchReordered).
+	order []int32
 	// sigKeys holds the band keys of an out-of-index query signature.
 	sigKeys []uint64
 	// heads is the stride-merge cursor scratch.
@@ -51,6 +55,11 @@ type Query struct {
 	// load) under the same flush cadence.
 	pendingProbe  int64
 	pendingDirect int64
+	// pendingLocal/pendingForeign batch the shard-locality candidate
+	// counters (owner-shard vs foreign-shard shortlist candidates, the
+	// shard_local_frac report) under the same flush cadence.
+	pendingLocal   int64
+	pendingForeign int64
 	// Backend-routed sweep state (resilient.go): gather buffers for the
 	// per-shard fan-out, replay cursors, and the degradation outcome of
 	// the most recent sweep. Unused (and unallocated) on the direct
@@ -92,8 +101,15 @@ func (q *Query) addMergeNanos(n int64) {
 		if q.pendingDirect > 0 {
 			sh.directOps.Add(q.pendingDirect)
 		}
+		if q.pendingLocal > 0 {
+			sh.localCands.Add(q.pendingLocal)
+		}
+		if q.pendingForeign > 0 {
+			sh.foreignCands.Add(q.pendingForeign)
+		}
 		q.pendingNanos, q.pendingCalls = 0, 0
 		q.pendingProbe, q.pendingDirect = 0, 0
+		q.pendingLocal, q.pendingForeign = 0, 0
 	}
 }
 
@@ -108,6 +124,20 @@ func (q *Query) Candidates(item int32, fn func(other int32)) {
 	sh := q.sh
 	if sh.res != nil {
 		q.backendCandidates(item, fn)
+		return
+	}
+	if perm := sh.perm; perm != nil {
+		// Reordered index: translate to internal space; emitted
+		// candidates are internal IDs in ascending-original order (see
+		// reorder.go).
+		if item < 0 || int(item) >= len(perm) {
+			return
+		}
+		if sh.single != nil {
+			sh.single.Candidates(perm[item], fn)
+			return
+		}
+		q.candidatesReordered(perm[item], fn)
 		return
 	}
 	if sh.single != nil {
@@ -164,13 +194,16 @@ func (q *Query) fanOutFrozen(s int, slot int32, b int, fn func(other int32)) {
 		for t, ix := range sh.shards {
 			fz := ix.frozen
 			if t == s {
-				for _, g := range fz.items[fz.offsets[slot]:fz.offsets[slot+1]] {
+				lo, hi := fz.offsets[slot], fz.offsets[slot+1]
+				q.pendingLocal += int64(hi - lo)
+				for _, g := range fz.items[lo:hi] {
 					fn(g)
 				}
 				continue
 			}
 			lo, hi := row[2*ti], row[2*ti+1]
 			ti++
+			q.pendingForeign += int64(hi - lo)
 			for _, g := range fz.items[lo:hi] {
 				fn(g)
 			}
@@ -181,12 +214,16 @@ func (q *Query) fanOutFrozen(s int, slot int32, b int, fn func(other int32)) {
 	for t, ix := range sh.shards {
 		if t == s {
 			fz := ix.frozen
-			for _, g := range fz.items[fz.offsets[slot]:fz.offsets[slot+1]] {
+			lo, hi := fz.offsets[slot], fz.offsets[slot+1]
+			q.pendingLocal += int64(hi - lo)
+			for _, g := range fz.items[lo:hi] {
 				fn(g)
 			}
 			continue
 		}
-		for _, g := range ix.lookupBucket(b, key) {
+		bucket := ix.lookupBucket(b, key)
+		q.pendingForeign += int64(len(bucket))
+		for _, g := range bucket {
 			fn(g)
 		}
 	}
@@ -241,19 +278,25 @@ func (q *Query) mergeEmit(fn func(other int32)) {
 	}
 }
 
-// CandidatesBatch invokes fn once per (item, band, shard) with the
-// matching bucket, band-major across the block and shard-ascending
-// within each band, so each position's concatenated buckets reproduce
-// Candidates' enumeration exactly while the sweep stays inside one
-// shard's contiguous band region at a time (see Index.CandidatesBatch
-// for why that order amortises cache misses). Bucket slices alias
-// index storage and must not be modified. Only range-partitioned
-// indexes batch; stride partitions fall back to per-item sweeps
-// (streaming, the stride user, never batches).
+// CandidatesBatch invokes fn with each position's buckets in exactly
+// the per-position sequence Candidates would deliver, band-major
+// across the block so the sweep stays inside one shard's contiguous
+// band region at a time (see Index.CandidatesBatch for why that order
+// amortises cache misses). On range partitions each (item, band,
+// shard) bucket arrives whole, shard-ascending within the band; on
+// stride partitions, whose shard buckets interleave in ID space, each
+// (item, band) emission is the S-way ascending merge delivered as
+// maximal single-shard runs. Bucket slices alias index storage and
+// must not be modified. Backend-routed stride sweeps fall back to
+// per-item queries to keep their per-position degradation accounting.
 func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32)) {
 	sh := q.sh
 	if sh.res != nil && !sh.part.stride {
 		q.backendCandidatesBatch(items, fn)
+		return
+	}
+	if sh.perm != nil {
+		q.candidatesBatchReordered(items, fn)
 		return
 	}
 	if sh.single != nil {
@@ -263,16 +306,16 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 	if sh.part.stride {
 		if sh.res != nil {
 			q.ensureBlockDeg(len(items))
-		}
-		for pos, item := range items {
-			q.Candidates(item, func(other int32) {
-				q.oneBuf[0] = other
-				fn(pos, q.oneBuf[:])
-			})
-			if sh.res != nil {
+			for pos, item := range items {
+				q.Candidates(item, func(other int32) {
+					q.oneBuf[0] = other
+					fn(pos, q.oneBuf[:])
+				})
 				q.blockDeg[pos] = q.lastDeg
 			}
+			return
 		}
+		q.candidatesBatchStride(items, fn)
 		return
 	}
 	start := time.Now()
@@ -315,6 +358,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 		// first foreign load pulled in.
 		stride := 2 * (len(sh.shards) - 1)
 		slotBuf := q.slotBuf[:n]
+		var localC, foreignC int64
 		for b := 0; b < bands; b++ {
 			for pos := 0; pos < n; {
 				o := owners[pos]
@@ -350,6 +394,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 						for p := pos; p < end; p++ {
 							slot := slotBuf[p]
 							if lo, hi := offs[slot], offs[slot+1]; hi > lo {
+								localC += int64(hi - lo)
 								fn(p, bucketed[lo:hi])
 							}
 						}
@@ -362,6 +407,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 						for p := pos; p < end; p++ {
 							at := int(slotBuf[p])*stride + 2*ti
 							if lo, hi := frows[at], frows[at+1]; hi > lo {
+								foreignC += int64(hi - lo)
 								fn(p, bucketed[lo:hi])
 							}
 						}
@@ -371,6 +417,8 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 			}
 		}
 		sh.directOps.Add(cross)
+		sh.localCands.Add(localC)
+		sh.foreignCands.Add(foreignC)
 		sh.mergeNanos.Add(time.Since(start).Nanoseconds())
 		return
 	}
@@ -379,6 +427,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 		// bucket slot directly (no probe) and its key feeds the foreign
 		// probes, each of which is one interleaved-table cache line.
 		slotBuf := q.slotBuf[:n]
+		var localC, foreignC int64
 		for b := 0; b < bands; b++ {
 			for pos := range items {
 				if owners[pos] < 0 {
@@ -397,18 +446,26 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 						continue
 					}
 					slot := slotBuf[pos]
-					if owners[pos] != int32(s) {
+					local := owners[pos] == int32(s)
+					if !local {
 						if slot = tbl.get(keyBuf[pos]); slot < 0 {
 							continue
 						}
 					}
 					if lo, hi := fz.offsets[slot], fz.offsets[slot+1]; hi > lo {
+						if local {
+							localC += int64(hi - lo)
+						} else {
+							foreignC += int64(hi - lo)
+						}
 						fn(pos, fz.items[lo:hi])
 					}
 				}
 			}
 		}
 		sh.probeOps.Add(cross)
+		sh.localCands.Add(localC)
+		sh.foreignCands.Add(foreignC)
 		sh.mergeNanos.Add(time.Since(start).Nanoseconds())
 		return
 	}
@@ -433,10 +490,104 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 	sh.mergeNanos.Add(time.Since(start).Nanoseconds())
 }
 
+// candidatesBatchStride is the stride-partition block sweep: band-major
+// like the range paths, with each position's (item, band) emission an
+// S-way ascending merge of the per-shard buckets delivered as maximal
+// single-shard runs (mergeRuns) — the same candidate sequence the
+// per-item Candidates fallback produced one element at a time, without
+// its per-candidate closure dispatch and with the key resolutions
+// hoisted band-major. Equivalence tests pin the sequences identical.
+func (q *Query) candidatesBatchStride(items []int32, fn func(pos int, bucket []int32)) {
+	sh := q.sh
+	start := time.Now()
+	n := len(items)
+	if cap(q.owners) < n {
+		q.owners = make([]int32, n)
+		q.locals = make([]int32, n)
+		q.keyBuf = make([]uint64, n)
+		q.slotBuf = make([]int32, n)
+	}
+	owners, locals, keyBuf := q.owners[:n], q.locals[:n], q.keyBuf[:n]
+	valid := 0
+	for pos, item := range items {
+		s, local, ok := sh.part.locate(item)
+		if ok && sh.shards[s].isInserted(local) {
+			owners[pos], locals[pos] = int32(s), local
+			valid++
+		} else {
+			owners[pos] = -1
+		}
+	}
+	bands := sh.params.Bands
+	for b := 0; b < bands; b++ {
+		for pos := range items {
+			if owners[pos] >= 0 {
+				keyBuf[pos] = sh.shards[owners[pos]].itemBandKey(locals[pos], b)
+			}
+		}
+		for pos := 0; pos < n; pos++ {
+			if owners[pos] < 0 {
+				continue
+			}
+			q.heads = q.heads[:0]
+			for _, ix := range sh.shards {
+				if bucket := ix.lookupBucket(b, keyBuf[pos]); len(bucket) > 0 {
+					q.heads = append(q.heads, mergeHead{bucket: bucket})
+				}
+			}
+			q.mergeRuns(pos, fn)
+		}
+	}
+	sh.probeOps.Add(int64(valid) * int64(bands) * int64(len(sh.shards)-1))
+	sh.mergeNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// mergeRuns drains q.heads in ascending global-ID order, emitting
+// maximal single-shard runs as bucket sub-slices: the head with the
+// smallest front ID advances until the next-smallest other head would
+// overtake it, and the stretch is handed to fn in one call. Buckets are
+// strictly ascending with disjoint IDs across shards, so the
+// concatenation of emitted runs is exactly the mergeEmit sequence.
+func (q *Query) mergeRuns(pos int, fn func(pos int, bucket []int32)) {
+	for len(q.heads) > 0 {
+		if len(q.heads) == 1 {
+			h := &q.heads[0]
+			fn(pos, h.bucket[h.next:])
+			q.heads = q.heads[:0]
+			return
+		}
+		minAt := 0
+		minV := q.heads[0].bucket[q.heads[0].next]
+		limit := int32((1 << 31) - 1)
+		for h := 1; h < len(q.heads); h++ {
+			v := q.heads[h].bucket[q.heads[h].next]
+			if v < minV {
+				limit = minV
+				minV, minAt = v, h
+			} else if v < limit {
+				limit = v
+			}
+		}
+		head := &q.heads[minAt]
+		runStart := head.next
+		for head.next < len(head.bucket) && head.bucket[head.next] < limit {
+			head.next++
+		}
+		fn(pos, head.bucket[runStart:head.next])
+		if head.next == len(head.bucket) {
+			last := len(q.heads) - 1
+			q.heads[minAt] = q.heads[last]
+			q.heads = q.heads[:last]
+		}
+	}
+}
+
 // CandidatesOfKeys reports the items colliding with precomputed band
 // keys (one per band), with Candidates' duplication semantics and
 // enumeration order — the query half of the sharded seeded bootstrap,
-// probing every shard's growing (or frozen) tables.
+// probing every shard's growing (or frozen) tables. On a reordered
+// index the emitted IDs are internal, in ascending-original order,
+// like every other candidate path.
 func (q *Query) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
 	sh := q.sh
 	if sh.res != nil {
@@ -451,8 +602,27 @@ func (q *Query) CandidatesOfKeys(keys []uint64, fn func(other int32)) {
 		panic("lsh: CandidatesOfKeys key count mismatch")
 	}
 	start := time.Now()
-	for b, key := range keys {
-		q.fanOutBand(b, key, fn)
+	if sh.inv != nil {
+		for b, key := range keys {
+			q.heads = q.heads[:0]
+			for _, ix := range sh.shards {
+				if bucket := ix.lookupBucket(b, key); len(bucket) > 0 {
+					q.heads = append(q.heads, mergeHead{bucket: bucket})
+				}
+			}
+			if len(q.heads) == 1 {
+				for _, g := range q.heads[0].bucket {
+					fn(g)
+				}
+				q.heads = q.heads[:0]
+			} else {
+				q.mergeEmitByInv(fn)
+			}
+		}
+	} else {
+		for b, key := range keys {
+			q.fanOutBand(b, key, fn)
+		}
 	}
 	q.pendingProbe += int64(len(keys)) * int64(len(sh.shards)-1)
 	q.addMergeNanos(time.Since(start).Nanoseconds())

@@ -1,0 +1,560 @@
+package lsh
+
+// Locality-preserving item reordering. Range-sharded batch builds can
+// permute items before shard construction so that items sharing band
+// buckets become contiguous: the permutation lays every collision-
+// connected component — the transitive closure of "shares a bucket in
+// some band", size-capped so junk buckets don't weld the dataset into
+// one component (deriveReorder) — out as one contiguous internal-ID
+// run, the SignAll arena is permuted once, and the range partitioner
+// then cuts shards over the *permuted* order. A query's candidates are
+// its co-colliders, i.e. its own component, so collisions concentrate
+// in the owning shard — most foreign-slot spans come back empty and a
+// fan-out degenerates to a single owner-bucket scan — and the
+// per-candidate assignment reads of a shortlist sweep stay
+// cache-resident instead of striding the whole assignment array.
+//
+// Two ID spaces coexist from then on (see internal/README.md, "ID
+// spaces"):
+//
+//   - original IDs — the caller's item numbering. Everything outside
+//     the index (assignments, datasets, runstats, CLI output) stays in
+//     this space.
+//   - internal IDs — the permuted numbering the shards, buckets,
+//     foreign-slot spans and reverse marks are built over.
+//
+// perm[original] = internal and inv[internal] = original map between
+// them at the index boundary: queries translate the item argument on
+// the way in, candidate enumeration *emits internal IDs* (callers that
+// index per-item state by candidate ID must use an internal-space view;
+// core's driver mirrors its assignment array), and the reverse view
+// translates emitted items back to original IDs. Every ordering
+// contract is kept in *original* space: each bucket's items are stored
+// in ascending original ID (reorderBucketItems), and cross-shard merges
+// compare inv — so enumeration order, and therefore every order-
+// dependent tie-break downstream, is bit-identical to the unreordered
+// oracle (Options.DisableReorder in core).
+//
+// Reordering applies only to BuildFrozen on a range partition without
+// attached backends; map-built (seeded), stride (streaming) and
+// backend-routed indexes never reorder, and SetReorder is off by
+// default so the frozen-layout identity tests keep pinning the direct
+// build.
+
+import (
+	"slices"
+	"time"
+
+	"lshcluster/internal/par"
+)
+
+// SetReorder requests locality-preserving reordering for a subsequent
+// BuildFrozen. It must be called before BuildFrozen; it has no effect
+// on stride partitions or the map-built seeded path.
+func (sh *Sharded) SetReorder(on bool) { sh.reorder = on }
+
+// ReorderMap returns the active permutation pair — perm[original] =
+// internal, inv[internal] = original — or (nil, nil) when the index is
+// not reordered. The slices are owned by the index; callers must not
+// modify them. A non-nil perm tells callers that candidate enumeration
+// emits internal IDs.
+func (sh *Sharded) ReorderMap() (perm, inv []int32) { return sh.perm, sh.inv }
+
+// ReorderTime returns the wall time BuildFrozen spent deriving and
+// applying the reorder permutation (zero when not reordered).
+func (sh *Sharded) ReorderTime() time.Duration { return sh.reorderDur }
+
+// FanOutLocality reports how many shortlist candidates the frozen
+// range fan-out paths served from the query item's owning shard versus
+// foreign shards — the shard_local_frac numerator/denominator runstats
+// reports. Zero with a single shard (no fan-out exists) and on stride
+// partitions. Per-item paths flush in small batches like MergeTime.
+func (sh *Sharded) FanOutLocality() (local, foreign int64) {
+	return sh.localCands.Load(), sh.foreignCands.Load()
+}
+
+// maxUnionBucket caps the bucket size that still glues its members
+// into one locality component. Oversized buckets are junk keys — a
+// degenerate band hashing thousands of unrelated items together — and
+// a bucket that large spans every shard under any layout, so feeding
+// it to the union would only weld the whole dataset into one giant
+// component and destroy the locality the permutation exists to create.
+// Band 0 is exempt: reorderBucketItems skips band 0 on the strength of
+// every band-0 bucket living inside a single component (see
+// deriveReorder), which capping would break.
+const maxUnionBucket = 128
+
+// deriveReorder computes the locality permutation from the flat band-
+// key arena. Items that share any band bucket are collision-connected;
+// the permutation lays each connected component out contiguously —
+// union-find over every band's buckets (size-capped, see
+// maxUnionBucket), components ordered by their smallest original
+// member, items ascending by original ID within each component. A
+// shortlist's candidates are the query item's co-colliders, i.e. its
+// component (junk buckets aside), so after the range partitioner cuts
+// shards over this order almost every candidate lives in the owning
+// shard. Because band 0 is never capped, a band-0 bucket lies entirely
+// inside one component, and the ascending-original layout within the
+// component means internal order equals original order on any subset —
+// the property reorderBucketItems exploits to skip band 0.
+func deriveReorder(keys []uint64, n, bands int) (perm, inv []int32) {
+	return deriveReorderCapped(keys, n, bands, maxUnionBucket)
+}
+
+func deriveReorderCapped(keys []uint64, n, bands, bucketCap int) (perm, inv []int32) {
+	// Union-find with path halving; unions point the larger root at the
+	// smaller, so the root is the component's smallest original ID and
+	// the result is independent of union order.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	tbl := newBuildTable(n / bands)
+	firsts := make([]int32, 0, n/4+1)
+	sizes := make([]int32, 0, n/4+1)
+	for b := 0; b < bands; b++ {
+		if b > 0 {
+			tbl.reset()
+		}
+		firsts, sizes = firsts[:0], sizes[:0]
+		for item := 0; item < n; item++ {
+			id, added := tbl.lookupOrAdd(keys[item*bands+b], int32(len(firsts)))
+			if added {
+				firsts = append(firsts, int32(item))
+				sizes = append(sizes, 1)
+				continue
+			}
+			if b > 0 && int(sizes[id]) >= bucketCap {
+				continue
+			}
+			sizes[id]++
+			ra, rb := find(firsts[id]), find(int32(item))
+			if ra < rb {
+				parent[rb] = ra
+			} else if rb < ra {
+				parent[ra] = rb
+			}
+		}
+	}
+	// Components in ascending-smallest-member order, ascending original
+	// within each: because the root IS the smallest member, numbering
+	// groups by first root sighting over an ascending item scan gives
+	// exactly that order.
+	groupIdx := make([]int32, n)
+	for i := range groupIdx {
+		groupIdx[i] = -1
+	}
+	groupOf := make([]int32, n)
+	counts := make([]int32, 0, n/4+1)
+	for item := 0; item < n; item++ {
+		r := find(int32(item))
+		g := groupIdx[r]
+		if g < 0 {
+			g = int32(len(counts))
+			groupIdx[r] = g
+			counts = append(counts, 0)
+		}
+		counts[g]++
+		groupOf[item] = g
+	}
+	cursor := make([]int32, len(counts))
+	next := int32(0)
+	for g, c := range counts {
+		cursor[g] = next
+		next += c
+	}
+	perm = make([]int32, n)
+	inv = make([]int32, n)
+	for item := 0; item < n; item++ {
+		j := cursor[groupOf[item]]
+		cursor[groupOf[item]] = j + 1
+		perm[item] = j
+		inv[j] = int32(item)
+	}
+	return perm, inv
+}
+
+// permuteArena gathers the band-key arena into internal order:
+// out[j·bands : (j+1)·bands] = keys[inv[j]·bands : …].
+func permuteArena(keys []uint64, inv []int32, bands, workers int) []uint64 {
+	out := make([]uint64, len(keys))
+	par.Ranges(len(inv), workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			src := int(inv[j]) * bands
+			copy(out[j*bands:(j+1)*bands], keys[src:src+bands])
+		}
+	})
+	return out
+}
+
+// reorderBucketItems rewrites every frozen bucket's items span from
+// ascending internal ID (the build scatter order) to ascending
+// *original* ID, restoring the unreordered index's per-bucket
+// enumeration order. It is a counting re-scatter, not a sort: each
+// shard's internal IDs are listed in ascending-original order (one
+// linear pass over perm), then each band's buckets are refilled from
+// that list through the existing slots array. Band 0 is skipped — a
+// band-0 bucket is one group's contiguous internal run clipped to the
+// shard, where internal order already equals original order.
+func (sh *Sharded) reorderBucketItems(workers int) {
+	n := len(sh.perm)
+	nShards := len(sh.shards)
+	orders := make([][]int32, nShards)
+	for s := 0; s < nShards; s++ {
+		lo, hi := sh.part.cuts[s], sh.part.cuts[s+1]
+		orders[s] = make([]int32, 0, hi-lo)
+	}
+	if nShards == 1 {
+		order := orders[0]
+		for orig := 0; orig < n; orig++ {
+			order = append(order, sh.perm[orig])
+		}
+		orders[0] = order
+	} else {
+		p := &sh.part
+		for orig := 0; orig < n; orig++ {
+			j := sh.perm[orig]
+			t := int(((int64(j)+1)*int64(p.s) - 1) / int64(p.n))
+			orders[t] = append(orders[t], j)
+		}
+	}
+	bands := sh.params.Bands
+	shardConc := workers
+	if shardConc > nShards {
+		shardConc = nShards
+	}
+	bandWorkers := workers / shardConc
+	if bandWorkers < 1 {
+		bandWorkers = 1
+	}
+	par.Ranges(nShards, shardConc, func(sLo, sHi int) {
+		for s := sLo; s < sHi; s++ {
+			fz := sh.shards[s].frozen
+			cutLo := sh.part.cuts[s]
+			order := orders[s]
+			// Bands 1… refill in parallel; each worker owns a cursor
+			// buffer sized for the widest band it sees.
+			parallelBands(bands-1, bandWorkers, func(bandSeq func() (int, bool)) {
+				var cursor []int32
+				for {
+					bs, ok := bandSeq()
+					if !ok {
+						return
+					}
+					b := bs + 1
+					first, last := fz.bandStart[b], fz.bandStart[b+1]
+					width := int(last - first)
+					if cap(cursor) < width {
+						cursor = make([]int32, width)
+					}
+					cur := cursor[:width]
+					copy(cur, fz.offsets[first:last])
+					for _, j := range order {
+						slot := fz.slots[int(j-cutLo)*bands+b]
+						c := cur[slot-first]
+						fz.items[c] = j
+						cur[slot-first] = c + 1
+					}
+				}
+			})
+		}
+	})
+}
+
+// candidatesReordered is the reordered multi-shard per-item sweep:
+// internal is the already-translated query item. Per band the owner
+// bucket resolves through its freeze-time slot and foreign spans come
+// from the foreign-slot arrays (key probes otherwise); spans merge by
+// inv so candidates emit in ascending *original* order, exactly the
+// oracle's enumeration — but as internal IDs.
+func (q *Query) candidatesReordered(internal int32, fn func(other int32)) {
+	sh := q.sh
+	start := time.Now()
+	s, local, ok := sh.part.locate(internal)
+	if !ok {
+		return
+	}
+	own := sh.shards[s].frozen
+	bands := sh.params.Bands
+	base := int(local) * bands
+	nsh := len(sh.shards)
+	fstride := 2 * (nsh - 1)
+	for b := 0; b < bands; b++ {
+		slot := own.slots[base+b]
+		ownerBucket := own.items[own.offsets[slot]:own.offsets[slot+1]]
+		if sh.foreign != nil && sh.foreignEmpty[s][slot>>6]&(1<<(slot&63)) != 0 {
+			// Every foreign span is empty — the bucket is single-shard
+			// (the overwhelming case after reordering), so skip the span
+			// row and emit the owner bucket directly.
+			q.pendingLocal += int64(len(ownerBucket))
+			for _, g := range ownerBucket {
+				fn(g)
+			}
+			continue
+		}
+		q.heads = q.heads[:0]
+		foreignLen := 0
+		if sh.foreign != nil {
+			row := sh.foreign[s][int(slot)*fstride : int(slot)*fstride+fstride]
+			ti := 0
+			for t := 0; t < nsh; t++ {
+				if t == s {
+					q.heads = append(q.heads, mergeHead{bucket: ownerBucket})
+					continue
+				}
+				lo, hi := row[2*ti], row[2*ti+1]
+				ti++
+				if hi > lo {
+					q.heads = append(q.heads, mergeHead{bucket: sh.shards[t].frozen.items[lo:hi]})
+					foreignLen += int(hi - lo)
+				}
+			}
+		} else {
+			key := own.keys[slot]
+			for t, ix := range sh.shards {
+				if t == s {
+					q.heads = append(q.heads, mergeHead{bucket: ownerBucket})
+					continue
+				}
+				if bucket := ix.lookupBucket(b, key); len(bucket) > 0 {
+					q.heads = append(q.heads, mergeHead{bucket: bucket})
+					foreignLen += len(bucket)
+				}
+			}
+		}
+		q.pendingLocal += int64(len(ownerBucket))
+		q.pendingForeign += int64(foreignLen)
+		if len(q.heads) == 1 {
+			for _, g := range ownerBucket {
+				fn(g)
+			}
+		} else {
+			q.mergeEmitByInv(fn)
+		}
+	}
+	cross := int64(bands) * int64(nsh-1)
+	if sh.foreign != nil {
+		q.pendingDirect += cross
+	} else {
+		q.pendingProbe += cross
+	}
+	q.addMergeNanos(time.Since(start).Nanoseconds())
+}
+
+// mergeEmitByInv drains q.heads in ascending *original* ID order:
+// buckets hold internal IDs sorted by inv (reorderBucketItems), shards
+// hold disjoint items, so a repeated min-head scan on inv reproduces
+// the unreordered bucket order exactly.
+func (q *Query) mergeEmitByInv(fn func(other int32)) {
+	inv := q.sh.inv
+	for len(q.heads) > 0 {
+		minAt := 0
+		minV := inv[q.heads[0].bucket[q.heads[0].next]]
+		for h := 1; h < len(q.heads); h++ {
+			if v := inv[q.heads[h].bucket[q.heads[h].next]]; v < minV {
+				minAt, minV = h, v
+			}
+		}
+		head := &q.heads[minAt]
+		fn(head.bucket[head.next])
+		head.next++
+		if head.next == len(head.bucket) {
+			last := len(q.heads) - 1
+			q.heads[minAt] = q.heads[last]
+			q.heads = q.heads[:last]
+		}
+	}
+}
+
+// mergeRunsByInv drains q.heads in ascending original order, emitting
+// maximal single-shard runs as bucket sub-slices: the head with the
+// smallest front inv advances until the next-smallest other head would
+// overtake it, and that stretch is handed to fn in one call. With
+// reordered shards most buckets collapse to one head before this is
+// reached, and the rest are a few long runs — so the batch sweep keeps
+// its whole-slice emission granularity.
+func (q *Query) mergeRunsByInv(pos int, fn func(pos int, bucket []int32)) {
+	inv := q.sh.inv
+	for len(q.heads) > 0 {
+		if len(q.heads) == 1 {
+			h := &q.heads[0]
+			fn(pos, h.bucket[h.next:])
+			q.heads = q.heads[:0]
+			return
+		}
+		minAt := 0
+		minV := inv[q.heads[0].bucket[q.heads[0].next]]
+		limit := int32((1 << 31) - 1)
+		for h := 1; h < len(q.heads); h++ {
+			v := inv[q.heads[h].bucket[q.heads[h].next]]
+			if v < minV {
+				limit = minV
+				minV, minAt = v, h
+			} else if v < limit {
+				limit = v
+			}
+		}
+		head := &q.heads[minAt]
+		runStart := head.next
+		for head.next < len(head.bucket) && inv[head.bucket[head.next]] < limit {
+			head.next++
+		}
+		fn(pos, head.bucket[runStart:head.next])
+		if head.next == len(head.bucket) {
+			last := len(q.heads) - 1
+			q.heads[minAt] = q.heads[last]
+			q.heads = q.heads[:last]
+		}
+	}
+}
+
+// candidatesBatchReordered is the reordered block sweep: items are
+// original IDs, translated on entry; buckets emit internal IDs in
+// ascending-original merged order, as runs (mergeRunsByInv). The core
+// cuts blocks in original-ID order, which the permutation scatters
+// across the arena, so the sweep schedules positions by ascending
+// *internal* ID (q.order): slot-row and bucket reads then walk the
+// permuted arena forward, exactly the sequential access the direct
+// fast path gets for free. Per-position emission is untouched — the
+// band-major loop still hands every position its bands in order, so
+// each position's candidate stream is bit-identical and only the
+// cross-position interleaving (which block gatherers never observe)
+// differs. The per-position cross-shard gather reads only the foreign
+// row (or probes the key tables when spans are not materialised), so
+// empty foreign spans — the overwhelming case after reordering — cost
+// one cache line, not a bucket scan.
+func (q *Query) candidatesBatchReordered(items []int32, fn func(pos int, bucket []int32)) {
+	sh := q.sh
+	perm := sh.perm
+	n := len(items)
+	if cap(q.order) < n {
+		q.order = make([]int32, 0, n)
+	}
+	order := q.order[:0]
+	for pos, it := range items {
+		if it >= 0 && int(it) < len(perm) {
+			order = append(order, int32(pos))
+		}
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		return int(perm[items[a]]) - int(perm[items[b]])
+	})
+	if sh.single != nil {
+		// Single reordered shard: translate the scheduled block and
+		// delegate — the one shard's buckets are already in
+		// ascending-original order — remapping the callback's position
+		// back through the schedule.
+		if cap(q.locals) < n {
+			q.locals = make([]int32, n)
+		}
+		tmp := q.locals[:len(order)]
+		for j, pos := range order {
+			tmp[j] = perm[items[pos]]
+		}
+		sh.single.CandidatesBatch(tmp, func(j int, bucket []int32) {
+			fn(int(order[j]), bucket)
+		})
+		return
+	}
+	start := time.Now()
+	if cap(q.owners) < n {
+		q.owners = make([]int32, n)
+		q.locals = make([]int32, n)
+		q.keyBuf = make([]uint64, n)
+		q.slotBuf = make([]int32, n)
+	}
+	owners, locals := q.owners[:n], q.locals[:n]
+	for _, pos := range order {
+		s, local, _ := sh.part.locate(perm[items[pos]])
+		owners[pos], locals[pos] = int32(s), local
+	}
+	valid := len(order)
+	bands := sh.params.Bands
+	nsh := len(sh.shards)
+	fstride := 2 * (nsh - 1)
+	slotBuf := q.slotBuf[:n]
+	var localC, foreignC int64
+	for b := 0; b < bands; b++ {
+		// Sorted order groups positions by owning shard, so the slots
+		// pointer hoists per run.
+		for i := 0; i < len(order); {
+			o := owners[order[i]]
+			j := i
+			for j < len(order) && owners[order[j]] == o {
+				j++
+			}
+			slots := sh.shards[o].frozen.slots
+			for ; i < j; i++ {
+				pos := order[i]
+				slotBuf[pos] = slots[int(locals[pos])*bands+b]
+			}
+		}
+		for _, pos32 := range order {
+			pos := int(pos32)
+			o := owners[pos]
+			slot := slotBuf[pos]
+			own := sh.shards[o].frozen
+			ownerBucket := own.items[own.offsets[slot]:own.offsets[slot+1]]
+			if sh.foreign != nil && sh.foreignEmpty[o][slot>>6]&(1<<(slot&63)) != 0 {
+				// Single-shard bucket (see candidatesReordered): one bit
+				// read instead of the span row and merge-head setup.
+				localC += int64(len(ownerBucket))
+				fn(pos, ownerBucket)
+				continue
+			}
+			q.heads = q.heads[:0]
+			foreignLen := 0
+			if sh.foreign != nil {
+				row := sh.foreign[o][int(slot)*fstride : int(slot)*fstride+fstride]
+				ti := 0
+				for t := 0; t < nsh; t++ {
+					if int32(t) == o {
+						q.heads = append(q.heads, mergeHead{bucket: ownerBucket})
+						continue
+					}
+					lo, hi := row[2*ti], row[2*ti+1]
+					ti++
+					if hi > lo {
+						q.heads = append(q.heads, mergeHead{bucket: sh.shards[t].frozen.items[lo:hi]})
+						foreignLen += int(hi - lo)
+					}
+				}
+			} else {
+				key := own.keys[slot]
+				for t, ix := range sh.shards {
+					if int32(t) == o {
+						q.heads = append(q.heads, mergeHead{bucket: ownerBucket})
+						continue
+					}
+					if bucket := ix.lookupBucket(b, key); len(bucket) > 0 {
+						q.heads = append(q.heads, mergeHead{bucket: bucket})
+						foreignLen += len(bucket)
+					}
+				}
+			}
+			localC += int64(len(ownerBucket))
+			foreignC += int64(foreignLen)
+			if len(q.heads) == 1 {
+				fn(pos, ownerBucket)
+			} else {
+				q.mergeRunsByInv(pos, fn)
+			}
+		}
+	}
+	cross := int64(valid) * int64(bands) * int64(nsh-1)
+	if sh.foreign != nil {
+		sh.directOps.Add(cross)
+	} else {
+		sh.probeOps.Add(cross)
+	}
+	sh.localCands.Add(localC)
+	sh.foreignCands.Add(foreignC)
+	sh.mergeNanos.Add(time.Since(start).Nanoseconds())
+}

@@ -79,6 +79,17 @@ type Sharded struct {
 	// MaterializeForeignSlots in foreign.go.
 	foreign      [][]int32
 	foreignBytes int64
+	// foreignEmpty[s] is a per-slot bitmap over owner shard s's bucket
+	// slots: bit u set when every foreign span of slot u is empty — no
+	// other shard has a bucket for that (band, key). Set alongside
+	// foreign (MaterializeForeignSlots; ~1/64th of its size, not
+	// counted against the budget). The reordered sweeps test the bit
+	// before touching the span row: a reordered build makes almost
+	// every bucket single-shard (collision components are contiguous),
+	// so the common case collapses to one bit read and a direct owner
+	// emission. Unreordered paths skip the bitmap — their hit rate is
+	// too low to pay for the extra branch.
+	foreignEmpty [][]uint64
 	// probeOps/directOps count cross-shard bucket resolutions by path —
 	// key-table probe versus foreign-slot load — for the runstats
 	// fan-out-mode report. Atomic for the same reason as mergeNanos.
@@ -89,6 +100,19 @@ type Sharded struct {
 	// retried, optionally hedged calls with graceful degradation. Nil
 	// is the direct in-memory path.
 	res *resilience
+	// reorder requests locality-preserving item reordering for the next
+	// BuildFrozen (SetReorder); perm/inv are the resulting permutation
+	// pair — perm[original] = internal, inv[internal] = original — nil
+	// until a reordered build ran. See reorder.go.
+	reorder    bool
+	perm       []int32
+	inv        []int32
+	reorderDur time.Duration
+	// localCands/foreignCands count shortlist candidates the frozen
+	// range fan-out served from the owning shard versus foreign shards
+	// (the shard_local_frac report). Atomic like mergeNanos.
+	localCands   atomic.Int64
+	foreignCands atomic.Int64
 }
 
 // partition routes global item IDs to (shard, local) pairs.
@@ -274,6 +298,12 @@ func (sh *Sharded) Stats() Stats {
 // key-resolution step a serving client runs before fanning a query out
 // to shard backends.
 func (sh *Sharded) ItemKeysOf(global int32, keys []uint64) bool {
+	if perm := sh.perm; perm != nil {
+		if global < 0 || int(global) >= len(perm) {
+			return false
+		}
+		global = perm[global]
+	}
 	s, local, ok := sh.part.locate(global)
 	if !ok || !sh.shards[s].isInserted(local) {
 		return false
@@ -345,10 +375,40 @@ func (sh *Sharded) InsertKeys(global int32, keys []uint64) error {
 // standalone index over the same item range would build (the shard
 // determinism tests pin this). Per-shard wall times are recorded for
 // the bootstrap-build breakdown.
+//
+// When SetReorder(true) was called, the arena is first permuted into
+// locality order (items grouped by shared buckets, see reorder.go) and
+// the shards are range-cut over the permuted order; ReorderMap then
+// reports the permutation and candidate enumeration emits internal
+// IDs. Results observed through the translated boundaries are
+// bit-identical either way.
 func (sh *Sharded) BuildFrozen(keys []uint64, n, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
+	bands := sh.params.Bands
+	if !sh.reorder || sh.part.stride || n < 2 || len(keys) != n*bands {
+		// Direct build; mismatched arguments also land here so the
+		// direct path surfaces its usual validation errors.
+		return sh.buildFrozenDirect(keys, n, workers)
+	}
+	start := time.Now()
+	perm, inv := deriveReorder(keys, n, bands)
+	permuted := permuteArena(keys, inv, bands, workers)
+	prep := time.Since(start)
+	if err := sh.buildFrozenDirect(permuted, n, workers); err != nil {
+		return err
+	}
+	sh.perm, sh.inv = perm, inv
+	start = time.Now()
+	sh.reorderBucketItems(workers)
+	sh.reorderDur = prep + time.Since(start)
+	return nil
+}
+
+// buildFrozenDirect is the unreordered shard construction: each shard
+// builds from its contiguous arena slice in identity order.
+func (sh *Sharded) buildFrozenDirect(keys []uint64, n, workers int) error {
 	if sh.single != nil {
 		start := time.Now()
 		err := sh.single.BuildFrozen(keys, n, workers)
@@ -454,12 +514,19 @@ type ShardedReverse struct {
 }
 
 // AddSource marks every bucket the global source item occupies, across
-// all shards. Uninserted items are ignored.
+// all shards. Uninserted items are ignored. Sources are original IDs;
+// a reordered index translates them to internal space on entry.
 func (r *ShardedReverse) AddSource(global int32) {
 	sh := r.sh
 	if sh.res != nil {
 		r.addSourceBackend(global)
 		return
+	}
+	if perm := sh.perm; perm != nil {
+		if global < 0 || int(global) >= len(perm) {
+			return
+		}
+		global = perm[global]
 	}
 	if sh.single != nil {
 		r.revs[0].AddSource(global)
@@ -473,12 +540,18 @@ func (r *ShardedReverse) AddSource(global int32) {
 	bands := sh.params.Bands
 	base := int(local) * bands
 	// The reverse view marks buckets by slot, which the foreign span
-	// arrays no longer carry — so sources always resolve foreign
-	// buckets by key probe. This is the cold path: sources are the
-	// changed clusters of a pass (≤ k), not the item stream.
+	// arrays no longer carry — so sources resolve foreign buckets by
+	// key probe. The emptiness bitmap still applies: a set bit means no
+	// foreign shard has the key, so all S−1 probes would miss and the
+	// fan-out can be skipped outright (on a reordered index that is
+	// nearly every bucket). Probing is otherwise acceptable: sources
+	// are the changed clusters of a pass (≤ k), not the item stream.
 	for b := 0; b < bands; b++ {
 		slot := own.slots[base+b]
 		r.revs[s].markSlot(slot)
+		if sh.foreignEmpty != nil && sh.foreignEmpty[s][slot>>6]&(1<<(slot&63)) != 0 {
+			continue
+		}
 		key := own.keys[slot]
 		for t, ix := range sh.shards {
 			if t == s {
@@ -493,9 +566,17 @@ func (r *ShardedReverse) AddSource(global int32) {
 
 // Emit invokes fn for every item in a hot bucket of any shard, each
 // bucket scanned once; fn returning false stops the enumeration early.
-// All marks in all shards are reset before Emit returns.
+// All marks in all shards are reset before Emit returns. Emitted IDs
+// are original: a reordered index translates its internal bucket
+// contents back through inv — enumeration order is unspecified here
+// anyway (callers dedupe into flags), so the translation is free to
+// ride the shard-major scan.
 func (r *ShardedReverse) Emit(fn func(item int32) bool) {
 	r.emitted = true
+	if inv := r.sh.inv; inv != nil {
+		orig := fn
+		fn = func(it int32) bool { return orig(inv[it]) }
+	}
 	if r.sh.single != nil {
 		r.revs[0].Emit(fn)
 		return

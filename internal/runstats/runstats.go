@@ -91,6 +91,18 @@ type Run struct {
 	// loads. Both zero with a single shard.
 	CrossShardProbes int64
 	CrossShardDirect int64
+	// ReorderTime is the wall time the locality-reordering stage spent
+	// deriving and applying the item permutation during the bootstrap
+	// build (zero when reordering was disabled or inapplicable). Part
+	// of BootstrapBuild, reported separately as the reorder overhead.
+	ReorderTime time.Duration
+	// ShardLocalCands and ShardForeignCands count shortlist candidates
+	// by origin: served by the queried item's owning shard versus fanned
+	// out from the other shards. Their ratio is the locality measure the
+	// reordering stage exists to raise. Both zero with a single shard
+	// (no fan-out) and on stride layouts.
+	ShardLocalCands   int64
+	ShardForeignCands int64
 	// ShardRetries and ShardTimeouts count failed shard-backend calls
 	// that were retried, and the subset that failed by deadline. All of
 	// the resilience counters below stay zero unless the run routed its
@@ -167,6 +179,18 @@ func (r *Run) CrossShardProbeFrac() float64 {
 	return float64(r.CrossShardProbes) / float64(total)
 }
 
+// ShardLocalFrac returns the share of shortlist candidates served by
+// the queried item's owning shard — the locality measure item
+// reordering raises. NaN when no multi-shard range fan-out ran (single
+// shard, stride layout, or no queries).
+func (r *Run) ShardLocalFrac() float64 {
+	total := r.ShardLocalCands + r.ShardForeignCands
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.ShardLocalCands) / float64(total)
+}
+
 // Speedup returns how many times faster r completed than other
 // (other.Total / r.Total).
 func (r *Run) Speedup(other *Run) float64 {
@@ -233,6 +257,10 @@ var columns = []column{
 		func(r *Run) string { return strconv.FormatInt(r.ForeignSlotBytes, 10) }, none},
 	{"crossshard_probe_frac",
 		func(r *Run) string { return f(r.CrossShardProbeFrac()) }, none},
+	{"reorder_ms",
+		func(r *Run) string { return f(ms(r.ReorderTime)) }, none},
+	{"shard_local_frac",
+		func(r *Run) string { return f(r.ShardLocalFrac()) }, none},
 	{"shard_retries",
 		func(r *Run) string { return strconv.FormatInt(r.ShardRetries, 10) }, none},
 	{"shard_timeouts",
@@ -257,6 +285,8 @@ var csvExempt = map[string]string{
 	"BootstrapBuildShards": "per-shard breakdown; long format has no per-shard rows, the CLI reports the critical path",
 	"CrossShardProbes":     "reported as the crossshard_probe_frac ratio",
 	"CrossShardDirect":     "reported as the crossshard_probe_frac ratio",
+	"ShardLocalCands":      "reported as the shard_local_frac ratio",
+	"ShardForeignCands":    "reported as the shard_local_frac ratio",
 	"Iterations":           "expanded into the per-iteration rows themselves",
 	"Converged":            "summary-level; rendered by WriteSummaryMarkdown",
 	"Purity":               "summary-level; rendered by WriteSummaryMarkdown",

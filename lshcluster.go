@@ -154,6 +154,13 @@ type Config struct {
 	// bit-identical either way); this switch is the correctness oracle
 	// and A/B baseline.
 	DisableImmediateBatching bool
+	// DisableReorder forces the sharded LSH index to build in original
+	// item order instead of applying the locality-preserving
+	// permutation that makes co-colliding items contiguous (results
+	// are bit-identical either way — assignments, stats and CSV always
+	// report original item IDs); this switch is the correctness oracle
+	// and A/B baseline. Implied by ChaosSpec.
+	DisableReorder bool
 	// ChaosSpec, when non-empty, routes the sharded LSH index's
 	// cross-shard fan-out through the fault-tolerant backend layer with
 	// the given fault-injection script (see internal/lsh/serve for the
@@ -202,6 +209,7 @@ func (c Config) coreOptions() core.Options {
 		DisableActiveFilter:      c.DisableActiveFilter,
 		DisableParallelBootstrap: c.DisableParallelBootstrap,
 		DisableImmediateBatching: c.DisableImmediateBatching,
+		DisableReorder:           c.DisableReorder,
 	}
 	if c.SeededBootstrap {
 		opts.Bootstrap = core.BootstrapSeeded

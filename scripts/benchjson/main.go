@@ -1,0 +1,171 @@
+// Command benchjson turns `go test -bench` text output into a
+// machine-readable JSON summary. It parses every Benchmark line into a
+// name → {iterations, ns/op, reported metrics} map and, when the
+// locality A/B pair (BenchmarkLocalityReorder{On,Off}{1,4}) is
+// present, derives the headline numbers CI tracks for the
+// locality-reordering stage:
+//
+//   - s4_over_s1_iter_ratio_on / _off: the shard fan-out tax — mean
+//     iteration time at S=4 over S=1, with the reordering stage on and
+//     off. The reordering exists to push the "on" ratio toward 1.
+//   - s1_iter_speedup / s4_iter_speedup: oracle-over-reordered
+//     iteration time at each shard count (>1 means reordering won).
+//   - reorder_ms_s4, shard_local_frac_on/off: the stage's cost and its
+//     effect on where fan-out candidates are served from.
+//
+// Usage:
+//
+//	go test -run XXX -bench BenchmarkLocality . | tee bench-locality.txt
+//	go run ./scripts/benchjson -in bench-locality.txt -out BENCH_9.json
+//
+// With -in/-out omitted it reads stdin and writes stdout. Exit codes:
+// 0 success, 1 no Benchmark lines found or I/O failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed Benchmark line.
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// summary is the emitted document.
+type summary struct {
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Headline   map[string]float64     `json:"headline,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, outPath string) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := parse(r)
+	if err != nil {
+		return err
+	}
+	doc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(outPath, doc, 0o644)
+}
+
+// parse reads go-test bench output and builds the summary. A Benchmark
+// line is "BenchmarkName-P  N  V1 unit1  V2 unit2 ..."; the -P GOMAXPROCS
+// suffix is stripped so the JSON keys match the source names.
+func parse(r io.Reader) (*summary, error) {
+	sum := &summary{Benchmarks: map[string]benchResult{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Iterations: iters, Metrics: map[string]float64{}}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		sum.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no Benchmark lines in input")
+	}
+	sum.Headline = headline(sum.Benchmarks)
+	return sum, nil
+}
+
+// headline derives the locality-stage numbers from the A/B quartet.
+// Missing benchmarks or metrics simply leave their entries out, so the
+// tool works on any bench file.
+func headline(bm map[string]benchResult) map[string]float64 {
+	metric := func(name, unit string) (float64, bool) {
+		res, ok := bm[name]
+		if !ok {
+			return 0, false
+		}
+		v, ok := res.Metrics[unit]
+		return v, ok && !math.IsNaN(v)
+	}
+	h := map[string]float64{}
+	ratio := func(key, num, den, unit string) {
+		n, okN := metric(num, unit)
+		d, okD := metric(den, unit)
+		if okN && okD && d > 0 {
+			h[key] = n / d
+		}
+	}
+	ratio("s4_over_s1_iter_ratio_on", "BenchmarkLocalityReorderOn4", "BenchmarkLocalityReorderOn1", "iter_ms")
+	ratio("s4_over_s1_iter_ratio_off", "BenchmarkLocalityReorderOff4", "BenchmarkLocalityReorderOff1", "iter_ms")
+	ratio("s1_iter_speedup", "BenchmarkLocalityReorderOff1", "BenchmarkLocalityReorderOn1", "iter_ms")
+	ratio("s4_iter_speedup", "BenchmarkLocalityReorderOff4", "BenchmarkLocalityReorderOn4", "iter_ms")
+	if v, ok := metric("BenchmarkLocalityReorderOn4", "reorder_ms"); ok {
+		h["reorder_ms_s4"] = v
+	}
+	if v, ok := metric("BenchmarkLocalityReorderOn4", "shard_local_frac"); ok {
+		h["shard_local_frac_on"] = v
+	}
+	if v, ok := metric("BenchmarkLocalityReorderOff4", "shard_local_frac"); ok {
+		h["shard_local_frac_off"] = v
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	return h
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: lshcluster
+cpu: Some CPU @ 2.00GHz
+BenchmarkLocalityReorderOff1-8   	       3	 500000000 ns/op	         0 reorder_ms	        40.0 iter_ms	     12345 B/op	      67 allocs/op
+BenchmarkLocalityReorderOn1-8    	       3	 480000000 ns/op	        25.0 reorder_ms	        32.0 iter_ms	     12345 B/op	      67 allocs/op
+BenchmarkLocalityReorderOff4-8   	       3	 520000000 ns/op	         0 reorder_ms	        56.0 iter_ms	         0.25 shard_local_frac	     12345 B/op	      67 allocs/op
+BenchmarkLocalityReorderOn4-8    	       3	 470000000 ns/op	        26.0 reorder_ms	        35.2 iter_ms	         0.80 shard_local_frac	     12345 B/op	      67 allocs/op
+PASS
+ok  	lshcluster	12.3s
+`
+
+func TestParseBenchLines(t *testing.T) {
+	sum, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(sum.Benchmarks))
+	}
+	on4, ok := sum.Benchmarks["BenchmarkLocalityReorderOn4"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from benchmark name")
+	}
+	if on4.Iterations != 3 || on4.NsPerOp != 470000000 {
+		t.Fatalf("On4 iterations/ns = %d/%v", on4.Iterations, on4.NsPerOp)
+	}
+	for unit, want := range map[string]float64{
+		"reorder_ms": 26.0, "iter_ms": 35.2, "shard_local_frac": 0.80,
+		"B/op": 12345, "allocs/op": 67,
+	} {
+		if got := on4.Metrics[unit]; got != want {
+			t.Errorf("On4 %s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestHeadlineRatios(t *testing.T) {
+	sum, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(key string, want float64) {
+		t.Helper()
+		got, ok := sum.Headline[key]
+		if !ok {
+			t.Fatalf("headline %s missing", key)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("headline %s = %v, want %v", key, got, want)
+		}
+	}
+	approx("s4_over_s1_iter_ratio_on", 35.2/32.0)
+	approx("s4_over_s1_iter_ratio_off", 56.0/40.0)
+	approx("s1_iter_speedup", 40.0/32.0)
+	approx("s4_iter_speedup", 56.0/35.2)
+	approx("reorder_ms_s4", 26.0)
+	approx("shard_local_frac_on", 0.80)
+	approx("shard_local_frac_off", 0.25)
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want error on input with no Benchmark lines")
+	}
+}
+
+func TestHeadlineOmittedForOtherBenches(t *testing.T) {
+	sum, err := parse(strings.NewReader("BenchmarkSomethingElse-4 10 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Headline != nil {
+		t.Fatalf("headline = %v, want nil for non-locality benches", sum.Headline)
+	}
+}
