@@ -7,7 +7,7 @@
 SHELL := /bin/bash
 GO ?= go
 
-.PHONY: build test lint lshvet allocheck staticcheck govulncheck fuzz-smoke chaos clean
+.PHONY: build test lint lshvet allocheck staticcheck govulncheck fuzz-smoke chaos persist-bench clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ fuzz-smoke:
 	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzBuildFrozenIdentity -fuzztime=30s
 	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzForeignSlotSpans -fuzztime=30s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzReorderIdentity -fuzztime=30s
+	$(GO) test ./internal/lsh -run='^$$' -fuzz=FuzzPersistRoundTrip -fuzztime=30s
+
+# Warm-start A/B: the cold save-and-scan bootstrap against the mmap and
+# heap warm starts on the 100k/S=4 workload, with the derived headline
+# numbers (warm_start_speedup, mmap_vs_heap) in BENCH_10.json — the
+# same capture CI uploads as an artifact.
+persist-bench:
+	set -o pipefail; $(GO) test -run XXX -bench 'BenchmarkPersist' -benchtime 2x . | tee bench-persist.txt
+	$(GO) run ./scripts/benchjson -in bench-persist.txt -out BENCH_10.json
 
 clean:
-	rm -f *-report.txt bench-*.txt chaos-soak-in.csv chaos-soak-stats.csv
+	rm -f *-report.txt bench-*.txt BENCH_*.json chaos-soak-in.csv chaos-soak-stats.csv

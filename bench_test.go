@@ -9,6 +9,7 @@ package lshcluster
 import (
 	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -719,3 +720,80 @@ func benchCandidates(b *testing.B, frozen bool) {
 
 func BenchmarkCandidatesMap(b *testing.B)    { benchCandidates(b, false) }
 func BenchmarkCandidatesFrozen(b *testing.B) { benchCandidates(b, true) }
+
+// ---- persistent index warm start ----
+
+// benchPersist prices the out-of-core warm start on the 100k workload
+// at S=4, MaxIterations=1 — the time to be ready for (and finish) the
+// first iteration, which is what the warm start exists to shrink. The
+// cold case signs, builds, saves and full-scans into an empty
+// directory every round; the warm cases open the saved shards — mmap
+// zero-copy by default, heap-deserialising under DisableMmap (the
+// portable oracle) — and restore the cached bootstrap assignment.
+// bootstrap_ms is the headline; save_ms/load_ms split out the
+// persistence layer's own cost.
+func benchPersist(b *testing.B, warm, useMmap bool) {
+	const k = 1000
+	ds := signWorkload(b)
+	dir := b.TempDir()
+	run := func() *core.Result {
+		space, err := kmodes.NewSpace(ds, kmodes.Config{K: k, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accel, err := core.NewMinHashAccelerator(ds, lsh.Params{Bands: 20, Rows: 5}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(space, core.Options{
+			Accelerator:   accel,
+			SkipCost:      true,
+			MaxIterations: 1,
+			Workers:       4,
+			Update:        core.UpdateDeferred,
+			Shards:        4,
+			IndexDir:      dir,
+			DisableMmap:   !useMmap,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	if warm {
+		run() // seed the on-disk index outside the timer
+	}
+	var boot, save, load time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			b.StopTimer()
+			if err := os.RemoveAll(dir); err != nil {
+				b.Fatal(err)
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		res := run()
+		boot += res.Stats.Bootstrap
+		save += res.Stats.IndexSaveTime
+		load += res.Stats.IndexLoadTime
+		if warm && !res.Stats.WarmStart {
+			b.Fatal("expected a warm start")
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(boot.Milliseconds())/n, "bootstrap_ms")
+	if !warm {
+		b.ReportMetric(float64(save.Milliseconds())/n, "save_ms")
+	} else {
+		b.ReportMetric(float64(load.Milliseconds())/n, "load_ms")
+	}
+}
+
+func BenchmarkPersistColdBootstrap(b *testing.B) { benchPersist(b, false, true) }
+func BenchmarkPersistWarmMmap(b *testing.B)      { benchPersist(b, true, true) }
+func BenchmarkPersistWarmHeap(b *testing.B)      { benchPersist(b, true, false) }

@@ -29,6 +29,7 @@ import (
 	"lshcluster/internal/dataset"
 	"lshcluster/internal/kmodes"
 	"lshcluster/internal/lsh"
+	"lshcluster/internal/lsh/persist"
 	"lshcluster/internal/lsh/serve"
 	"lshcluster/internal/metrics"
 	"lshcluster/internal/runstats"
@@ -45,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lshcluster", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input CSV file (default stdin)")
+	inBinary := fs.String("in-binary", "", "input binary dataset file (written by -write-binary; memory-mapped, so rows never occupy the heap)")
+	writeBinary := fs.String("write-binary", "", "convert the input dataset to the binary columnar format at this path and continue")
 	k := fs.Int("k", 0, "number of clusters (required)")
 	bands := fs.Int("bands", 20, "LSH bands (b)")
 	rows := fs.Int("rows", 5, "LSH rows per band (r)")
@@ -71,6 +74,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	retryBudget := fs.Int("retry-budget", 0, "retries after a failed shard-backend call (0 = default, negative = none; needs -chaos-spec)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "straggler threshold before hedging a shard call to its mirror (0 = default, negative disables; needs -chaos-spec)")
 	noHedging := fs.Bool("no-hedging", false, "disable hedged shard-backend requests, keeping deadlines and retries (A/B baseline; results are identical)")
+	saveIndex := fs.String("save-index", "", "persist the frozen LSH index (and first assignment) into this directory after a cold bootstrap; later runs warm-start from it")
+	loadIndex := fs.String("load-index", "", "warm-start from the saved index in this directory (must exist; stale indexes are rejected, bit-identical results)")
+	mmapIndex := fs.Bool("mmap-index", true, "memory-map the persisted index zero-copy; -mmap-index=false copies it onto the heap (A/B baseline; results are identical)")
+	memBudget := fs.Int64("shard-memory-budget", 0, "resident-byte cap for the memory-mapped index; whole shards page out past it and page back in on demand (0 = unlimited)")
+	snapshotEvery := fs.Int("snapshot-every", 0, "checkpoint the run state into the index directory every N iterations and resume interrupted runs from it (0 = off; needs -save-index/-load-index)")
 	serveQueries := fs.Int("serve-queries", 0, "after clustering, serve this many shortlist queries through the concurrent multi-shard server demo (0 = off; needs LSH acceleration)")
 	serveClients := fs.Int("serve-clients", 4, "concurrent client goroutines for -serve-queries")
 	serveInflight := fs.Int("serve-inflight", 2, "per-shard in-flight call bound (backpressure) for -serve-queries")
@@ -82,20 +90,52 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-k is required and must be ≥ 1")
 	}
 
-	var r io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	indexDir := ""
+	switch {
+	case *saveIndex != "" && *loadIndex != "" && *saveIndex != *loadIndex:
+		return fmt.Errorf("-save-index and -load-index name different directories; use one (or the same)")
+	case *saveIndex != "":
+		indexDir = *saveIndex
+	case *loadIndex != "":
+		if !lsh.IndexSaved(*loadIndex) {
+			return fmt.Errorf("-load-index: no saved index in %s (run with -save-index first)", *loadIndex)
+		}
+		indexDir = *loadIndex
+	}
+
+	var ds *dataset.Dataset
+	var err error
+	if *inBinary != "" {
+		if *in != "" {
+			return fmt.Errorf("-in and -in-binary are mutually exclusive")
+		}
+		var closeDS func() error
+		ds, closeDS, err = dataset.OpenBinary(*inBinary, *mmapIndex && persist.MmapSupported)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	ds, err := dataset.ReadCSV(r)
-	if err != nil {
-		return err
+		defer closeDS()
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		if ds, err = dataset.ReadCSV(r); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stderr, "lshcluster: loaded %s\n", ds)
+	if *writeBinary != "" {
+		if err := dataset.WriteBinary(ds, *writeBinary); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "lshcluster: wrote binary dataset to %s\n", *writeBinary)
+	}
 
 	var space *kmodes.Space
 	switch *initMethod {
@@ -130,6 +170,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DisableParallelBootstrap: *noParallelBoot,
 		DisableImmediateBatching: *noImmediateBatch,
 		DisableReorder:           *noReorder,
+		IndexDir:                 indexDir,
+		DisableMmap:              !*mmapIndex,
+		ShardMemoryBudget:        *memBudget,
+		SnapshotEvery:            *snapshotEvery,
 		ChaosSpec:                *chaosSpec,
 		RetryBudget:              *retryBudget,
 		HedgeAfter:               *hedgeAfter,
@@ -192,6 +236,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			run.Shards, slowest, slowestBuild.Round(time.Millisecond),
 			run.CrossShardMerge.Round(time.Millisecond),
 			fanOut, run.CrossShardProbeFrac(), locality)
+	}
+	if run.WarmStart {
+		fmt.Fprintf(stderr, "lshcluster: warm start: index loaded from %s in %v (skipped signing, build and first scan)\n",
+			indexDir, run.IndexLoadTime.Round(time.Millisecond))
+	} else if indexDir != "" {
+		fmt.Fprintf(stderr, "lshcluster: cold start: index built and saved to %s in %v\n",
+			indexDir, run.IndexSaveTime.Round(time.Millisecond))
+	}
+	if run.MmapBytes > 0 {
+		fmt.Fprintf(stderr, "lshcluster: index served zero-copy from a %d KiB memory mapping\n", run.MmapBytes/1024)
+	}
+	if run.ShardPromotions > 0 || run.ShardDemotions > 0 {
+		fmt.Fprintf(stderr, "lshcluster: residency: %d shard(s) resident at end under the %d KiB budget (%d promotions, %d demotions)\n",
+			run.ResidentShards, *memBudget/1024, run.ShardPromotions, run.ShardDemotions)
+	}
+	if run.ResumedAt > 1 {
+		fmt.Fprintf(stderr, "lshcluster: resumed from checkpoint at iteration %d\n", run.ResumedAt)
 	}
 	if run.ReorderTime > 0 {
 		fmt.Fprintf(stderr, "lshcluster: locality reorder %v (items permuted so co-colliding IDs are contiguous; output stays in original-ID space)\n",

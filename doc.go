@@ -230,6 +230,32 @@
 // tests re-baseline, and the serial/parallel and sharded variants
 // remain bit-identical to each other).
 //
+// # Persistent index and warm start
+//
+// Config.IndexDir makes the accelerator's frozen index durable: a cold
+// run signs, builds and saves every frozen shard to
+// <dir>/shard-<i>.lshz — a versioned, checksummed section container
+// (see internal/README.md for the byte layout) — plus a manifest
+// recording the banding, signing seed, shard count, reorder mode and a
+// fingerprint of the dataset. A later run with the same configuration
+// opens the files instead of rebuilding: the frozen arrays are
+// memory-mapped zero-copy by default (pages fault in as iterations
+// touch them), or heap-deserialised under Config.DisableMmap, the
+// portable oracle — cold, warm-mmap and warm-heap runs are
+// bit-identical. Anything stale (different dataset, banding, seed or
+// shard count) is rejected with an error, never silently reused. The
+// first full-scan assignment is cached next to the index and validated
+// by spot recomputation on restore, so a warm start skips signing,
+// build and the bootstrap scan entirely. Config.ShardMemoryBudget
+// bounds warm-shard residency — shards demote to mapping-only and
+// promote back on touch — so a run can execute against an index larger
+// than memory. Config.SnapshotEvery checkpoints assignment state every
+// N iterations and a restarted run resumes from the last checkpoint
+// with final results identical to an uninterrupted run. The CLI wires
+// all of this through -save-index, -load-index, -mmap-index,
+// -shard-memory-budget and -snapshot-every, and -write-binary /
+// -in-binary store the dataset itself in the same mmap-able container.
+//
 // The cmd/ directory provides datagen (paper-style synthetic workloads),
 // lshcluster (clustering CLI), lshtune (banding-parameter exploration,
 // Tables I–II), experiments (regenerates every table and figure of

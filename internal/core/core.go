@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"path/filepath"
 	"slices"
 	"sync"
 	"time"
@@ -281,6 +282,36 @@ type Options struct {
 	// and A/B benchmarks. Implied by ChaosSpec (the backend fan-out
 	// requires identity order).
 	DisableReorder bool
+	// IndexDir, when non-empty, makes the bootstrap durable (see
+	// persist.go): the frozen LSH index and the exact first assignment
+	// are saved into this directory after a cold run's bootstrap, and
+	// later runs warm-start from them — skipping signing, index
+	// construction and the first full scan — with identical results. The
+	// saved index is validated against the run's parameters, seed and
+	// dataset fingerprint; a mismatch is an error, never a silent
+	// rebuild. Requires an IndexPersister + BulkIndexer accelerator, the
+	// parallel bootstrap and BootstrapFullScan.
+	IndexDir string
+	// DisableMmap loads a persisted index by copying it onto the heap
+	// instead of memory-mapping it zero-copy. The heap load is the
+	// portable correctness oracle for the mapped one (the bytes are
+	// identical either way); this switch exists for equivalence tests
+	// and A/B benchmarks. Ignored without IndexDir; mapping is also
+	// skipped on platforms without mmap support.
+	DisableMmap bool
+	// ShardMemoryBudget, when > 0, caps the resident bytes of a
+	// memory-mapped persisted index: whole shards are advised out when
+	// the mapping exceeds the budget and paged back in when queries
+	// touch them (best-effort madvise — a non-resident shard is slow,
+	// never absent, so results are unchanged). Ignored without IndexDir
+	// or under DisableMmap.
+	ShardMemoryBudget int64
+	// SnapshotEvery, when > 0, checkpoints the run state (assignment +
+	// iteration stats) into IndexDir every SnapshotEvery iterations, and
+	// resumes from the latest checkpoint on the next run instead of
+	// restarting at iteration 1. A checkpoint for a different run shape
+	// is an error. Requires IndexDir.
+	SnapshotEvery int
 	// ChaosSpec, when non-empty, routes the sharded index's cross-shard
 	// fan-out through the fault-tolerant backend layer with the given
 	// serve.ParseChaosSpec fault-injection script (ResilienceConfigurer
@@ -353,6 +384,9 @@ func Run(space Space, opts Options) (*Result, error) {
 	if opts.Workers > 1 && opts.Accelerator != nil && opts.Update != UpdateDeferred {
 		return nil, fmt.Errorf("core: Workers > 1 requires UpdateDeferred")
 	}
+	if err := validatePersistOptions(&opts); err != nil {
+		return nil, err
+	}
 
 	d := &driver{
 		space: space,
@@ -401,6 +435,25 @@ func Run(space Space, opts Options) (*Result, error) {
 		f.Freeze()
 		d.bootBuild += time.Since(freezeStart)
 	}
+	// Resume point: a checkpointed assignment must be restored before
+	// the incremental engine initialises its centroid accumulators from
+	// it. The active filter starts its first pass full either way, so a
+	// resumed run stays correct (evaluating a would-be-skipped item is a
+	// no-op).
+	startIter := 1
+	var snapPath string
+	var restoredIters []runstats.Iteration
+	if opts.SnapshotEvery > 0 {
+		snapPath = filepath.Join(opts.IndexDir, runStateFile)
+		next, iters, err := d.restoreRunState(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		if next > 0 {
+			startIter = next
+			restoredIters = iters
+		}
+	}
 	if d.inc != nil {
 		d.inc.BeginIncremental(d.assign, !opts.SkipCost)
 	} else {
@@ -408,13 +461,15 @@ func Run(space Space, opts Options) (*Result, error) {
 	}
 	d.initActive()
 	res := &Result{Assign: d.assign}
+	res.Stats.Iterations = restoredIters
+	res.Stats.ResumedAt = startIter
 	res.Stats.Bootstrap = time.Since(bootStart)
 	res.Stats.BootstrapSign = d.bootSign
 	res.Stats.BootstrapBuild = d.bootBuild
 	res.Stats.BootstrapAssign = d.bootAssign
 	res.Stats.Purity = math.NaN()
 
-	for iter := 1; iter <= maxIter; iter++ {
+	for iter := startIter; iter <= maxIter; iter++ {
 		if err := ctxErr(opts.Context); err != nil {
 			return nil, err
 		}
@@ -455,6 +510,11 @@ func Run(space Space, opts Options) (*Result, error) {
 		if opts.OnIteration != nil {
 			opts.OnIteration(it)
 		}
+		if snapPath != "" && iter%opts.SnapshotEvery == 0 {
+			if err := d.saveRunState(snapPath, iter+1, res.Stats.Iterations); err != nil {
+				return nil, err
+			}
+		}
 		if ps.moves == 0 {
 			res.Stats.Converged = true
 			break
@@ -479,6 +539,13 @@ func Run(space Space, opts Options) (*Result, error) {
 		res.Stats.HedgedCalls = ss.HedgedCalls
 		res.Stats.HedgeWins = ss.HedgeWins
 		res.Stats.SkippedShards = ss.SkippedShards
+		res.Stats.IndexSaveTime = ss.SaveTime
+		res.Stats.IndexLoadTime = ss.LoadTime
+		res.Stats.MmapBytes = ss.MmapBytes
+		res.Stats.WarmStart = ss.WarmStart
+		res.Stats.ResidentShards = ss.ResidentShards
+		res.Stats.ShardPromotions = ss.Promotions
+		res.Stats.ShardDemotions = ss.Demotions
 	}
 	return res, nil
 }
@@ -628,6 +695,17 @@ func (d *driver) bootstrap() error {
 			Context:        d.opts.Context,
 		})
 	}
+	if ip, ok := accel.(IndexPersister); ok {
+		// Forwarded unconditionally (an empty Dir clears any previous
+		// configuration on a reused accelerator), before Reset, which is
+		// where the warm load happens.
+		ip.SetPersist(PersistConfig{
+			Dir:          d.opts.IndexDir,
+			DisableMmap:  d.opts.DisableMmap,
+			MemoryBudget: d.opts.ShardMemoryBudget,
+			Workers:      workers,
+		})
+	}
 	if err := accel.Reset(d.k); err != nil {
 		return fmt.Errorf("core: resetting accelerator: %w", err)
 	}
@@ -638,24 +716,36 @@ func (d *driver) bootstrap() error {
 	switch d.opts.Bootstrap {
 	case BootstrapFullScan:
 		if bulk != nil {
+			// A warm-started Reset loaded the frozen index from disk:
+			// signing and construction have nothing left to do, and the
+			// first assignment restores from the directory too (falling
+			// back to the scan if its file fails validation).
+			warm := false
+			if ip, ok := accel.(IndexPersister); ok {
+				warm = ip.WarmLoaded()
+			}
+			if !warm {
+				start := time.Now()
+				if err := bulk.SignAll(workers, stop); err != nil {
+					return fmt.Errorf("core: signing items: %w", err)
+				}
+				d.bootSign = time.Since(start)
+				if err := ctxErr(d.opts.Context); err != nil {
+					return err // the partially signed arena is discarded with the run
+				}
+				start = time.Now()
+				if err := bulk.BuildFrozen(workers); err != nil {
+					return fmt.Errorf("core: building frozen index: %w", err)
+				}
+				d.bootBuild = time.Since(start)
+				if err := ctxErr(d.opts.Context); err != nil {
+					return err
+				}
+			}
 			start := time.Now()
-			if err := bulk.SignAll(workers, stop); err != nil {
-				return fmt.Errorf("core: signing items: %w", err)
-			}
-			d.bootSign = time.Since(start)
-			if err := ctxErr(d.opts.Context); err != nil {
-				return err // the partially signed arena is discarded with the run
-			}
-			start = time.Now()
-			if err := bulk.BuildFrozen(workers); err != nil {
-				return fmt.Errorf("core: building frozen index: %w", err)
-			}
-			d.bootBuild = time.Since(start)
-			if err := ctxErr(d.opts.Context); err != nil {
+			if err := d.bootstrapAssign(workers); err != nil {
 				return err
 			}
-			start = time.Now()
-			d.bootstrapScan(workers, true)
 			d.bootAssign = time.Since(start)
 			break
 		}

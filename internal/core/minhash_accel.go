@@ -40,13 +40,17 @@ func NewMinHashAccelerator(ds *dataset.Dataset, params lsh.Params, seed uint64) 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &MinHashAccelerator{
+	a := &MinHashAccelerator{
 		ds:      ds,
 		mhParam: params,
 		seed:    seed,
 		// Sizes the hash-column memo: interned value IDs are dense.
 		maxVal: ds.MaxValue(),
-	}, nil
+	}
+	// Categorical datasets are fingerprintable, so a saved index can be
+	// pinned to the data it was built from (IndexPersister).
+	a.SetFingerprintSource(ds.Fingerprint)
+	return a, nil
 }
 
 // Params returns the banding configuration (also valid before Reset).

@@ -119,6 +119,21 @@ type ShardStats struct {
 	Retries, Timeouts      int64
 	HedgedCalls, HedgeWins int64
 	SkippedShards          int
+	// SaveTime/LoadTime are the wall times spent persisting the frozen
+	// index to disk and warm-loading it back (zero when persistence was
+	// off, and SaveTime stays zero on warm runs — nothing to save).
+	SaveTime, LoadTime time.Duration
+	// WarmStart reports whether the index was loaded from disk instead
+	// of built.
+	WarmStart bool
+	// MmapBytes is the total size of the index's live memory mappings
+	// (zero on heap loads and fresh builds).
+	MmapBytes int64
+	// ResidentShards/Promotions/Demotions mirror the residency manager
+	// (Options.ShardMemoryBudget): shards currently advised in, and the
+	// cumulative demote/promote transitions. All zero without a budget.
+	ResidentShards        int
+	Promotions, Demotions int64
 }
 
 // ResilienceConfig is the fault-tolerance configuration the driver
@@ -199,6 +214,20 @@ type ShardedIndexBase struct {
 	resCfg  ResilienceConfig
 	resSpec *serve.ChaosSpec
 	resErr  error
+	// persistCfg/persistOn hold the persistence configuration the driver
+	// forwarded (IndexPersister); fpSource supplies the dataset
+	// fingerprint the saved index is pinned to (set once by the
+	// embedding accelerator via SetFingerprintSource — accelerators
+	// without one cannot persist). seed is retained from ResetIndex for
+	// the save; warm/saveDur/loadDur describe what the last
+	// ResetIndex/BuildFrozen did, for ShardStats.
+	persistCfg PersistConfig
+	persistOn  bool
+	fpSource   func() uint64
+	seed       uint64
+	warm       bool
+	saveDur    time.Duration
+	loadDur    time.Duration
 }
 
 // SetShards configures the item-shard count for the next ResetIndex
@@ -268,6 +297,25 @@ func (b *ShardedIndexBase) SetResilience(cfg ResilienceConfig) {
 	b.resSpec = spec
 }
 
+// SetPersist stores the index-persistence configuration for the next
+// ResetIndex (core.IndexPersister). An empty Dir disables persistence.
+func (b *ShardedIndexBase) SetPersist(cfg PersistConfig) {
+	b.persistCfg = cfg
+	b.persistOn = cfg.Dir != ""
+}
+
+// SetFingerprintSource registers the dataset-fingerprint supplier the
+// persisted index is validated against. Embedding accelerators whose
+// dataset can be fingerprinted call it once at construction;
+// persistence on an accelerator without a source is a ResetIndex error.
+func (b *ShardedIndexBase) SetFingerprintSource(fp func() uint64) {
+	b.fpSource = fp
+}
+
+// WarmLoaded reports whether the last ResetIndex loaded the index from
+// disk instead of preparing a fresh build (core.IndexPersister).
+func (b *ShardedIndexBase) WarmLoaded() bool { return b.warm }
+
 // attachResilience routes the index's cross-shard fan-out through
 // chaos-wrapped backends once the frozen layout exists. Primaries and
 // hedge mirrors are independent replicas under the same fault spec
@@ -303,7 +351,7 @@ func (b *ShardedIndexBase) ShardStats() ShardStats {
 	probes, direct := b.index.FanOutOps()
 	local, foreign := b.index.FanOutLocality()
 	res := b.index.ResilienceStats()
-	return ShardStats{
+	ss := ShardStats{
 		Shards:           b.index.NumShards(),
 		BuildTimes:       b.index.BuildTimes(),
 		ReorderTime:      b.index.ReorderTime(),
@@ -318,7 +366,15 @@ func (b *ShardedIndexBase) ShardStats() ShardStats {
 		HedgedCalls:      res.HedgedCalls,
 		HedgeWins:        res.HedgeWins,
 		SkippedShards:    res.SkippedShards,
+		SaveTime:         b.saveDur,
+		LoadTime:         b.loadDur,
+		WarmStart:        b.warm,
+		MmapBytes:        b.index.MmapBytes(),
 	}
+	if resident, prom, dem, ok := b.index.ResidencyStats(); ok {
+		ss.ResidentShards, ss.Promotions, ss.Demotions = resident, prom, dem
+	}
+	return ss
 }
 
 // Params returns the banding configuration.
@@ -342,18 +398,64 @@ func (b *ShardedIndexBase) ResetIndex(params lsh.Params, seed uint64, numItems, 
 	if shards < 1 {
 		shards = 1
 	}
+	// Release any previous index's memory mappings before dropping the
+	// reference (a no-op for heap-built indexes).
+	if b.index != nil {
+		_ = b.index.ClosePersist()
+	}
+	b.index = nil
+	b.warm = false
+	b.saveDur, b.loadDur = 0, 0
+	// Locality reordering is incompatible with the backend fan-out
+	// (replay merges assume identity item order), so a chaos spec pins
+	// the original-order build regardless of DisableReorder.
+	reorder := !b.reorderOff && b.resSpec == nil
+	if b.persistOn && b.fpSource == nil {
+		return fmt.Errorf("core: index persistence requires a dataset fingerprint, which this accelerator does not provide")
+	}
+	if b.persistOn && lsh.IndexSaved(b.persistCfg.Dir) {
+		// Warm start: load the saved frozen index instead of building.
+		// The manifest pins parameters, seed, shape, shard count, dataset
+		// fingerprint and reorder setting; any mismatch is a hard error —
+		// a stale index must never silently serve or silently rebuild.
+		ix, rep, err := lsh.OpenSharded(b.persistCfg.Dir, lsh.OpenOptions{
+			Params:        params,
+			Seed:          seed,
+			NumItems:      numItems,
+			Shards:        shards,
+			Reorder:       reorder && numItems >= 2,
+			Fingerprint:   b.fpSource(),
+			Mmap:          mmapWanted(b.persistCfg.DisableMmap),
+			MemoryBudget:  b.persistCfg.MemoryBudget,
+			SkipForeign:   b.foreignOff,
+			ForeignBudget: b.foreignBudget,
+			Workers:       b.persistCfg.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("core: loading persisted index: %w", err)
+		}
+		b.params = params
+		b.index = ix
+		b.n = numItems
+		b.k = numClusters
+		b.seed = seed
+		b.selfQ = nil
+		b.presigned = nil
+		b.warm = true
+		b.loadDur = rep.Duration
+		b.attachResilience()
+		return nil
+	}
 	ix, err := lsh.NewSharded(params, seed, numItems, shards)
 	if err != nil {
 		return err
 	}
-	// Locality reordering is incompatible with the backend fan-out
-	// (replay merges assume identity item order), so a chaos spec pins
-	// the original-order build regardless of DisableReorder.
-	ix.SetReorder(!b.reorderOff && b.resSpec == nil)
+	ix.SetReorder(reorder)
 	b.params = params
 	b.index = ix
 	b.n = numItems
 	b.k = numClusters
+	b.seed = seed
 	b.selfQ = nil
 	b.presigned = nil
 	return nil
@@ -383,6 +485,13 @@ func (b *ShardedIndexBase) BuildFrozen(workers int) error {
 	if err == nil {
 		b.materializeForeign()
 		b.attachResilience()
+		if b.persistOn && !b.warm {
+			rep, serr := b.index.Save(b.persistCfg.Dir, b.seed, b.fpSource(), workers)
+			if serr != nil {
+				return fmt.Errorf("core: saving index: %w", serr)
+			}
+			b.saveDur = rep.Duration
+		}
 	}
 	return err
 }

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"lshcluster/internal/lsh/persist"
+)
+
+// buildBinaryFixture makes a labelled dataset with a mix of present and
+// absent feature values, so a round trip has to preserve the presence
+// bitmap as well as the columnar payload.
+func buildBinaryFixture(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder([]string{"a", "b", "c", "d"})
+	for i := 0; i < 37; i++ {
+		row := []string{
+			"v" + strconv.Itoa(i%5),
+			"w" + strconv.Itoa(i%7),
+			"x" + strconv.Itoa(i%3),
+			"y" + strconv.Itoa(i%11),
+		}
+		present := []bool{true, i%4 != 0, true, i%6 != 0}
+		if err := b.AddPresence(row, present, i%4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func assertDatasetEqual(t *testing.T, label string, want, got *Dataset) {
+	t.Helper()
+	if got.NumItems() != want.NumItems() || got.NumAttrs() != want.NumAttrs() {
+		t.Fatalf("%s: shape = (%d,%d), want (%d,%d)", label,
+			got.NumItems(), got.NumAttrs(), want.NumItems(), want.NumAttrs())
+	}
+	for i, name := range want.AttrNames() {
+		if got.AttrNames()[i] != name {
+			t.Fatalf("%s: attr[%d] = %q, want %q", label, i, got.AttrNames()[i], name)
+		}
+	}
+	wv, gv := want.Values(), got.Values()
+	for i := range wv {
+		if wv[i] != gv[i] {
+			t.Fatalf("%s: values[%d] = %d, want %d", label, i, gv[i], wv[i])
+		}
+	}
+	if got.Labeled() != want.Labeled() {
+		t.Fatalf("%s: labeled = %v, want %v", label, got.Labeled(), want.Labeled())
+	}
+	if want.Labeled() {
+		for i := 0; i < want.NumItems(); i++ {
+			if got.Label(i) != want.Label(i) {
+				t.Fatalf("%s: label[%d] = %d, want %d", label, i, got.Label(i), want.Label(i))
+			}
+		}
+	}
+	for _, v := range wv {
+		if got.Present(v) != want.Present(v) {
+			t.Fatalf("%s: Present(%d) = %v, want %v", label, v, got.Present(v), want.Present(v))
+		}
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("%s: fingerprint %#x, want %#x", label, got.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds := buildBinaryFixture(t)
+	path := filepath.Join(t.TempDir(), "data.lshz")
+	if err := WriteBinary(ds, path); err != nil {
+		t.Fatal(err)
+	}
+
+	heap, closeHeap, err := OpenBinary(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHeap()
+	assertDatasetEqual(t, "heap", ds, heap)
+
+	if persist.MmapSupported {
+		mapped, closeMapped, err := OpenBinary(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertDatasetEqual(t, "mmap", ds, mapped)
+		if err := closeMapped(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBinaryRoundTripUnlabeled(t *testing.T) {
+	b := NewBuilder([]string{"p", "q"})
+	for i := 0; i < 9; i++ {
+		if err := b.Add([]string{"u" + strconv.Itoa(i%2), "v" + strconv.Itoa(i%3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.lshz")
+	if err := WriteBinary(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	got, closeFn, err := OpenBinary(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	assertDatasetEqual(t, "unlabeled", ds, got)
+}
+
+// TestBinaryCorruptRejected flips one byte in the middle of the file:
+// the container checksum must refuse the load rather than hand back a
+// silently corrupted dataset.
+func TestBinaryCorruptRejected(t *testing.T) {
+	ds := buildBinaryFixture(t)
+	path := filepath.Join(t.TempDir(), "data.lshz")
+	if err := WriteBinary(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenBinary(path, false); err == nil {
+		t.Fatal("OpenBinary accepted a corrupted file")
+	}
+}
+
+// TestFingerprintDistinguishes: the fingerprint must move when the data
+// it guards moves — values and presence flags alike.
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := buildBinaryFixture(t)
+
+	b := NewBuilder([]string{"a", "b", "c", "d"})
+	for i := 0; i < 37; i++ {
+		row := []string{
+			"v" + strconv.Itoa(i%5),
+			"w" + strconv.Itoa(i%7),
+			"x" + strconv.Itoa(i%3),
+			"y" + strconv.Itoa(i%11),
+		}
+		// Same raw values, one presence flag pattern shifted.
+		present := []bool{true, i%4 != 1, true, i%6 != 0}
+		if err := b.AddPresence(row, present, i%4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shifted, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == shifted.Fingerprint() {
+		t.Fatal("fingerprint ignored a presence-flag change")
+	}
+}

@@ -23,6 +23,7 @@ package dataset
 
 import (
 	"fmt"
+	"sync"
 
 	"lshcluster/internal/kernel"
 )
@@ -43,6 +44,9 @@ type Dataset struct {
 	labels    []int32 // len n, or nil when unlabelled
 	dict      *Dict   // optional; nil for purely numeric-ID data
 	present   presence
+	// fp/fpOnce cache the lazily computed Fingerprint (see binary.go).
+	fp     uint64
+	fpOnce sync.Once
 }
 
 // presence answers "is this value ID a present feature?" for MinHash

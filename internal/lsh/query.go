@@ -149,6 +149,7 @@ func (q *Query) Candidates(item int32, fn func(other int32)) {
 	if !ok || !sh.shards[s].isInserted(local) {
 		return
 	}
+	sh.touchShard(s)
 	own := sh.shards[s]
 	bands := sh.params.Bands
 	if fz := own.frozen; fz != nil && !sh.part.stride {
@@ -337,6 +338,7 @@ func (q *Query) CandidatesBatch(items []int32, fn func(pos int, bucket []int32))
 			owners[pos] = -1
 		}
 	}
+	sh.touchOwners(owners)
 	bands := sh.params.Bands
 	cross := int64(valid) * int64(bands) * int64(len(sh.shards)-1)
 	frozenAll := true

@@ -281,6 +281,7 @@ func (q *Query) candidatesReordered(internal int32, fn func(other int32)) {
 	if !ok {
 		return
 	}
+	sh.touchShard(s)
 	own := sh.shards[s].frozen
 	bands := sh.params.Bands
 	base := int(local) * bands
@@ -471,9 +472,16 @@ func (q *Query) candidatesBatchReordered(items []int32, fn func(pos int, bucket 
 		q.slotBuf = make([]int32, n)
 	}
 	owners, locals := q.owners[:n], q.locals[:n]
+	lastTouched := -1
 	for _, pos := range order {
 		s, local, _ := sh.part.locate(perm[items[pos]])
 		owners[pos], locals[pos] = int32(s), local
+		if sh.resi != nil && s != lastTouched {
+			// The schedule ascends in internal ID, so owners arrive in
+			// runs: one residency touch per run, not per position.
+			sh.touchShard(s)
+			lastTouched = s
+		}
 	}
 	valid := len(order)
 	bands := sh.params.Bands

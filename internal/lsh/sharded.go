@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lshcluster/internal/lsh/persist"
 	"lshcluster/internal/minhash"
 )
 
@@ -113,6 +114,14 @@ type Sharded struct {
 	// (the shard_local_frac report). Atomic like mergeNanos.
 	localCands   atomic.Int64
 	foreignCands atomic.Int64
+	// persistFiles/persistBytes/resi are set by OpenSharded: the
+	// per-shard backing files the frozen slices alias (mmap or heap
+	// copy), the total mapped bytes, and — under a memory budget — the
+	// shard residency manager (see persist.go, residency.go). All nil/0
+	// for freshly built indexes.
+	persistFiles []*persist.File
+	persistBytes int64
+	resi         *residency
 }
 
 // partition routes global item IDs to (shard, local) pairs.

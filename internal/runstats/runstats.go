@@ -124,6 +124,35 @@ type Run struct {
 	// call past its retry budget during the run — the shards whose
 	// absence DegradedItems measures.
 	SkippedShards int
+	// IndexSaveTime and IndexLoadTime are the wall times spent
+	// persisting the frozen index to disk after a cold bootstrap and
+	// warm-loading it back at the start of a later run
+	// (core.Options.IndexDir). Zero when persistence was off; a run has
+	// at most one of them non-zero (cold runs save, warm runs load).
+	IndexSaveTime time.Duration
+	IndexLoadTime time.Duration
+	// MmapBytes is the total size of the index's live memory mappings —
+	// bytes served zero-copy from the page cache instead of the heap.
+	// Zero on heap loads (DisableMmap), fresh builds, and platforms
+	// without mmap.
+	MmapBytes int64
+	// WarmStart reports whether the index was loaded from disk instead
+	// of built (the run skipped signing, construction and the first full
+	// scan).
+	WarmStart bool
+	// ResumedAt is the first iteration this run executed: 1 normally,
+	// higher when the run resumed from a checkpoint
+	// (core.Options.SnapshotEvery), whose restored iterations precede
+	// the new ones in Iterations.
+	ResumedAt int
+	// ResidentShards, ShardPromotions and ShardDemotions mirror the
+	// memory-budgeted residency manager
+	// (core.Options.ShardMemoryBudget): shards resident at run end, and
+	// the cumulative page-in/page-out transitions. All zero without a
+	// budget.
+	ResidentShards  int
+	ShardPromotions int64
+	ShardDemotions  int64
 	// Iterations holds one entry per pass, in order.
 	Iterations []Iteration
 	// Converged reports whether the run stopped because no item moved
@@ -273,6 +302,12 @@ var columns = []column{
 		func(r *Run) string { return strconv.FormatInt(r.DegradedItems, 10) }, none},
 	{"skipped_shards",
 		func(r *Run) string { return strconv.Itoa(r.SkippedShards) }, none},
+	{"index_save_ms",
+		func(r *Run) string { return f(ms(r.IndexSaveTime)) }, none},
+	{"index_load_ms",
+		func(r *Run) string { return f(ms(r.IndexLoadTime)) }, none},
+	{"mmap_bytes",
+		func(r *Run) string { return strconv.FormatInt(r.MmapBytes, 10) }, none},
 }
 
 func bootNone(*Run) string { return "" }
@@ -290,6 +325,11 @@ var csvExempt = map[string]string{
 	"Iterations":           "expanded into the per-iteration rows themselves",
 	"Converged":            "summary-level; rendered by WriteSummaryMarkdown",
 	"Purity":               "summary-level; rendered by WriteSummaryMarkdown",
+	"WarmStart":            "boolean run mode, implied by index_load_ms > 0; the CLI reports it",
+	"ResumedAt":            "run mode; restored iterations already appear as ordinary rows",
+	"ResidentShards":       "end-state residency snapshot; the CLI reports it with the promote/demote counters",
+	"ShardPromotions":      "residency-manager accounting; the CLI reports it",
+	"ShardDemotions":       "residency-manager accounting; the CLI reports it",
 }
 
 // Header returns the CSV column names, in order.

@@ -161,6 +161,30 @@ type Config struct {
 	// report original item IDs); this switch is the correctness oracle
 	// and A/B baseline. Implied by ChaosSpec.
 	DisableReorder bool
+	// IndexDir, when non-empty, makes the LSH bootstrap durable: a cold
+	// run saves the frozen index and the exact first assignment into
+	// this directory, and later runs with the same data, parameters and
+	// seed warm-start from it — skipping signing, index construction and
+	// the first full scan, with bit-identical results. The saved index
+	// is pinned to the dataset fingerprint, parameters, seed, shard
+	// count and reorder setting; any mismatch is an error, never a
+	// silent rebuild. Requires an LSH run with the parallel bootstrap
+	// (not SeededBootstrap, not DisableParallelBootstrap).
+	IndexDir string
+	// DisableMmap loads a persisted index by copying it onto the heap
+	// instead of memory-mapping it zero-copy (results are bit-identical
+	// either way); this switch is the correctness oracle and A/B
+	// baseline for the mapped load. Ignored without IndexDir.
+	DisableMmap bool
+	// ShardMemoryBudget, when > 0, caps the resident bytes of a
+	// memory-mapped persisted index: whole shards page out past the
+	// budget and page back in when queried — slower, never wrong.
+	// Ignored without IndexDir or with DisableMmap.
+	ShardMemoryBudget int64
+	// SnapshotEvery, when > 0, checkpoints the run state into IndexDir
+	// every SnapshotEvery iterations and resumes interrupted runs from
+	// the latest checkpoint. Requires IndexDir.
+	SnapshotEvery int
 	// ChaosSpec, when non-empty, routes the sharded LSH index's
 	// cross-shard fan-out through the fault-tolerant backend layer with
 	// the given fault-injection script (see internal/lsh/serve for the
@@ -199,6 +223,10 @@ func (c Config) coreOptions() core.Options {
 		ForeignSlotBudget:        c.ForeignSlotBudget,
 		DisableForeignSlots:      c.DisableForeignSlots,
 		ScalarKernels:            c.ScalarKernels,
+		IndexDir:                 c.IndexDir,
+		DisableMmap:              c.DisableMmap,
+		ShardMemoryBudget:        c.ShardMemoryBudget,
+		SnapshotEvery:            c.SnapshotEvery,
 		ChaosSpec:                c.ChaosSpec,
 		RetryBudget:              c.RetryBudget,
 		HedgeAfter:               c.HedgeAfter,

@@ -13,6 +13,16 @@
 //   - reorder_ms_s4, shard_local_frac_on/off: the stage's cost and its
 //     effect on where fan-out candidates are served from.
 //
+// When the persistence trio (BenchmarkPersist{ColdBootstrap,WarmMmap,
+// WarmHeap}) is present it also derives the warm-start headlines:
+//
+//   - warm_start_speedup: cold bootstrap time over warm-mmap bootstrap
+//     time — how much faster a run reaches its first iteration from a
+//     saved index.
+//   - mmap_vs_heap: heap-deserialising load time over zero-copy mmap
+//     load time.
+//   - index_save_ms / index_load_ms: the persistence layer's own cost.
+//
 // Usage:
 //
 //	go test -run XXX -bench BenchmarkLocality . | tee bench-locality.txt
@@ -163,6 +173,14 @@ func headline(bm map[string]benchResult) map[string]float64 {
 	}
 	if v, ok := metric("BenchmarkLocalityReorderOff4", "shard_local_frac"); ok {
 		h["shard_local_frac_off"] = v
+	}
+	ratio("warm_start_speedup", "BenchmarkPersistColdBootstrap", "BenchmarkPersistWarmMmap", "bootstrap_ms")
+	ratio("mmap_vs_heap", "BenchmarkPersistWarmHeap", "BenchmarkPersistWarmMmap", "load_ms")
+	if v, ok := metric("BenchmarkPersistColdBootstrap", "save_ms"); ok {
+		h["index_save_ms"] = v
+	}
+	if v, ok := metric("BenchmarkPersistWarmMmap", "load_ms"); ok {
+		h["index_load_ms"] = v
 	}
 	if len(h) == 0 {
 		return nil

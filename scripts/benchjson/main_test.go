@@ -82,3 +82,33 @@ func TestHeadlineOmittedForOtherBenches(t *testing.T) {
 		t.Fatalf("headline = %v, want nil for non-locality benches", sum.Headline)
 	}
 }
+
+const samplePersistBench = `goos: linux
+pkg: lshcluster
+BenchmarkPersistColdBootstrap-8 	       2	9000000000 ns/op	      9000 bootstrap_ms	      4200 save_ms
+BenchmarkPersistWarmMmap-8      	       2	 500000000 ns/op	       300 bootstrap_ms	        50.0 load_ms
+BenchmarkPersistWarmHeap-8      	       2	2600000000 ns/op	      2400 bootstrap_ms	      2000 load_ms
+PASS
+ok  	lshcluster	30.1s
+`
+
+func TestHeadlinePersist(t *testing.T) {
+	sum, err := parse(strings.NewReader(samplePersistBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(key string, want float64) {
+		t.Helper()
+		got, ok := sum.Headline[key]
+		if !ok {
+			t.Fatalf("headline %s missing", key)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("headline %s = %v, want %v", key, got, want)
+		}
+	}
+	approx("warm_start_speedup", 9000.0/300.0)
+	approx("mmap_vs_heap", 2000.0/50.0)
+	approx("index_save_ms", 4200.0)
+	approx("index_load_ms", 50.0)
+}
